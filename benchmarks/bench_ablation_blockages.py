@@ -1,0 +1,84 @@
+"""Extension benchmark: legalization under placement blockages.
+
+The paper's source benchmarks had their fence regions stripped; this
+extension reintroduces obstacle structure (`blockage_fraction` in the
+generator carves fixed strips out of the packed layout's free space) and
+measures how the flow degrades as blockages consume free area: illegal
+cells repaired by the (obstacle-aware) Tetris stage, displacement, and
+runtime — for the MMSIM flow and the strongest sequential baseline.
+
+Design note baked into this benchmark: obstacle segments must be routed
+*jointly* for multi-row cells.  Per-row-independent bucketing can send a
+double's two subcells into conflicting segments (different obstacle
+layouts in its rows), and the λ tie then drags whole clusters toward the
+conflict — an early implementation lost ~3x displacement to exactly this
+at 15% blockage.  The joint-lower routing in
+``repro.core.qp_builder._joint_lowers`` resolves it; this benchmark keeps
+the MMSIM within ~10% of the obstacle-native sequential baseline.
+
+Run:  pytest benchmarks/bench_ablation_blockages.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale, write_result
+from repro.analysis import format_table
+from repro.baselines import WangLegalizer
+from repro.benchgen import get_profile
+from repro.benchgen.generator import generate_benchmark
+from repro.core import MMSIMLegalizer
+from repro.legality import check_legality
+
+SEED = 61
+FRACTIONS = [0.0, 0.15, 0.3, 0.5]
+
+
+def _run():
+    profile = get_profile("fft_a")
+    scale = min(bench_scale(profile), 0.03)
+    rows = []
+    for fraction in FRACTIONS:
+        kwargs = dict(scale=scale, seed=SEED)
+        if fraction > 0:
+            kwargs["blockage_fraction"] = fraction
+        d_mm = generate_benchmark("fft_a", **kwargs)
+        res_mm = MMSIMLegalizer().legalize(d_mm)
+        assert check_legality(d_mm).is_legal
+        d_w = generate_benchmark("fft_a", **kwargs)
+        res_w = WangLegalizer().legalize(d_w)
+        assert check_legality(d_w).is_legal
+        num_blk = sum(1 for c in d_mm.cells if c.fixed)
+        rows.append(
+            [
+                fraction,
+                num_blk,
+                res_mm.num_illegal,
+                round(res_mm.displacement.total_manhattan_sites, 1),
+                round(res_w.displacement.total_manhattan_sites, 1),
+                res_mm.iterations,
+                round(res_mm.runtime, 2),
+            ]
+        )
+    return rows
+
+
+def test_ablation_blockages(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = format_table(
+        ["blockage frac", "#blockages", "#I.Cell (mmsim)", "disp mmsim",
+         "disp wang", "mmsim iters", "mmsim s"],
+        rows,
+        title="Legalization under blockages (fft_a)",
+    )
+    print()
+    print(table)
+    write_result("ablation_blockages", table)
+
+    # Everything stays legal (asserted inside) and the MMSIM converges even
+    # at heavy blockage (the lower-offset formulation keeps B pure).
+    assert all(r[5] < 20000 for r in rows)
+    # The obstacle-free case repairs nothing via blockage spill.
+    assert rows[0][2] <= rows[-1][2] + 50
+    # Joint routing keeps the MMSIM competitive with the sequential
+    # baseline under moderate blockage (within ~15%).
+    assert rows[1][3] <= 1.15 * rows[1][4]

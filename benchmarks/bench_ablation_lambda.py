@@ -1,0 +1,70 @@
+"""Ablation: the penalty factor λ (paper's Problem (13), set to 1000).
+
+The paper argues that λ controls the subcell mismatch of multi-row cells:
+"if the value of λ is large enough, there will be no mismatch distance for
+each multi-row-height cell in theory", with residual mismatch absorbed by
+the Tetris-like allocation.  This sweep quantifies that trade-off: max/mean
+subcell mismatch, illegal-cell count, displacement, and MMSIM iterations as
+λ varies over four orders of magnitude.
+
+Expected shape: mismatch falls monotonically with λ; quality (displacement)
+is flat once λ is large enough; the paper's λ=1000 sits comfortably on the
+plateau.
+
+Run:  pytest benchmarks/bench_ablation_lambda.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale, write_result
+from repro.analysis import format_table
+from repro.benchgen import get_profile, make_benchmark
+from repro.core import LegalizerConfig, MMSIMLegalizer
+from repro.legality import check_legality
+
+SEED = 7
+LAMBDAS = [1.0, 10.0, 100.0, 1000.0, 10000.0]
+
+
+def _sweep():
+    profile = get_profile("fft_1")  # dense: mismatch actually matters
+    scale = bench_scale(profile)
+    rows = []
+    for lam in LAMBDAS:
+        design = make_benchmark(profile.name, scale=scale, seed=SEED, with_nets=False)
+        result = MMSIMLegalizer(LegalizerConfig(lam=lam)).legalize(design)
+        legal = check_legality(design).is_legal
+        rows.append(
+            [
+                lam,
+                result.max_subcell_mismatch,
+                result.mean_subcell_mismatch,
+                result.num_illegal,
+                round(result.displacement.total_manhattan_sites, 1),
+                result.iterations,
+                legal,
+            ]
+        )
+    return rows
+
+
+def test_ablation_lambda(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["λ", "max mismatch", "mean mismatch", "#illegal", "disp (sites)",
+         "iters", "legal"],
+        rows,
+        title="λ penalty sweep on fft_1 (paper uses λ=1000)",
+    )
+    print()
+    print(table)
+    write_result("ablation_lambda", table)
+
+    # Mismatch shrinks as λ grows (compare endpoints; the middle may wiggle
+    # within solver tolerance).
+    assert rows[-1][1] <= rows[0][1] + 1e-9
+    # Every λ still yields a legal final placement (Tetris absorbs mismatch).
+    assert all(r[6] for r in rows)
+    # On the plateau (λ >= 100), displacement varies by < 2%.
+    plateau = [r[4] for r in rows if r[0] >= 100.0]
+    assert max(plateau) - min(plateau) <= 0.02 * min(plateau)

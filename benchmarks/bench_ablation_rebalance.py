@@ -1,0 +1,99 @@
+"""Ablation (extension): capacity-aware row rebalancing.
+
+The paper's flow assigns cells to their nearest correct rows no matter how
+full those rows get; every excess unit of row width then spills past the
+relaxed right boundary and must be repaired by the Tetris stage.  The
+``balance_rows`` extension shifts cells out of over-capacity rows before
+the MMSIM.
+
+Our benchmark generator mimics well-behaved global placements whose row
+loads stay balanced (that is why Table 1's illegal counts are small), so
+this ablation uses a constructed adversarial workload instead: a "hot band"
+GP in which a large fraction of the cells crowd a few rows — the regime a
+rough or density-blind global placement produces.
+
+Run:  pytest benchmarks/bench_ablation_rebalance.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import write_result
+from repro.analysis import format_table
+from repro.core import LegalizerConfig, MMSIMLegalizer
+from repro.legality import check_legality
+from repro.netlist import CellMaster, Design, RailType
+from repro.rows import CoreArea
+
+SEED = 41
+
+
+def _hot_band_design(num_rows=16, num_sites=160, n_cells=320, seed=SEED):
+    """60% of the cells' GP y coordinates crowd rows 6-8 of a 16-row core."""
+    rng = np.random.default_rng(seed)
+    core = CoreArea(num_rows=num_rows, row_height=9.0, num_sites=num_sites)
+    design = Design(name="hot_band", core=core)
+    for i in range(n_cells):
+        width = int(rng.integers(2, 8))
+        if rng.random() < 0.1:
+            rail = RailType.VSS if rng.random() < 0.5 else RailType.VDD
+            master = CellMaster(
+                f"D{width}_{rail.value}_{i}", width=float(width),
+                height_rows=2, bottom_rail=rail,
+            )
+        else:
+            master = CellMaster(f"S{width}_{i}", width=float(width), height_rows=1)
+        if rng.random() < 0.6:
+            y = rng.uniform(6 * 9.0, 8 * 9.0)   # the hot band
+        else:
+            y = rng.uniform(0, (num_rows - master.height_rows) * 9.0)
+        x = rng.uniform(0, num_sites - width)
+        design.add_cell(f"c{i}", master, x, y)
+    return design
+
+
+def _run():
+    rows = []
+    for seed in (SEED, SEED + 1, SEED + 2):
+        per_mode = {}
+        for balance in (False, True):
+            design = _hot_band_design(seed=seed)
+            result = MMSIMLegalizer(
+                LegalizerConfig(balance_rows=balance)
+            ).legalize(design)
+            assert check_legality(design).is_legal
+            per_mode[balance] = result
+        off, on = per_mode[False], per_mode[True]
+        rows.append(
+            [
+                f"hot_band(seed={seed})",
+                off.num_illegal,
+                on.num_illegal,
+                round(off.displacement.total_manhattan_sites, 1),
+                round(on.displacement.total_manhattan_sites, 1),
+                round(on.y_displacement - off.y_displacement, 1),
+            ]
+        )
+    return rows
+
+
+def test_ablation_row_rebalancing(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = format_table(
+        ["workload", "#I.Cell off", "#I.Cell on", "disp off", "disp on", "extra y"],
+        rows,
+        title="Row-rebalancing extension (balance_rows) on hot-band GP inputs",
+    )
+    print()
+    print(table)
+    write_result("ablation_rebalance", table)
+
+    total_off = sum(r[1] for r in rows)
+    total_on = sum(r[2] for r in rows)
+    disp_off = sum(r[3] for r in rows)
+    disp_on = sum(r[4] for r in rows)
+    # The extension must reduce boundary-spill repairs and total displacement
+    # on hot-band inputs.
+    assert total_on < total_off
+    assert disp_on < disp_off

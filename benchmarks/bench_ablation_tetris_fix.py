@@ -1,0 +1,120 @@
+"""Ablation: is the Tetris-like allocation stage necessary, and how much
+does it cost in quality?
+
+The paper's framework is "near-optimal" precisely because of this stage: the
+MMSIM output is continuous (off-site) and may leave a handful of
+overlapping or out-of-boundary cells; the Tetris-like allocation makes the
+placement legal.  This ablation measures, on a dense benchmark:
+
+* how illegal the raw MMSIM output is (off-site everywhere by construction,
+  plus the few genuine overlaps of Table 1),
+* how much displacement the fixing stage adds on top of the relaxed-QP
+  lower bound — the empirical "near-optimality gap".
+
+Run:  pytest benchmarks/bench_ablation_tetris_fix.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import bench_scale, write_result
+from repro.analysis import format_table
+from repro.benchgen import get_profile, make_benchmark
+from repro.core import LegalizerConfig, MMSIMLegalizer
+from repro.core.qp_builder import build_legalization_qp
+from repro.core.row_assign import assign_rows
+from repro.core.splitting import LegalizationSplitting, SplittingParameters
+from repro.core.subcells import restore_cells, split_cells
+from repro.lcp import MMSIMOptions, mmsim_solve
+from repro.legality import ViolationKind, check_legality
+
+SEED = 29
+
+
+def _run():
+    rows = []
+    for bench in ("des_perf_1", "fft_1", "fft_2"):
+        profile = get_profile(bench)
+        scale = bench_scale(profile)
+        cfg = LegalizerConfig()
+
+        # Raw MMSIM output (stop the flow before the Tetris stage).
+        design = make_benchmark(bench, scale=scale, seed=SEED, with_nets=False)
+        assignment = assign_rows(design)
+        model = split_cells(design, assignment)
+        lq = build_legalization_qp(design, model, lam=cfg.lam)
+        spl = LegalizationSplitting(
+            lq.qp.H, lq.qp.B, lq.E, cfg.lam,
+            SplittingParameters(cfg.beta, cfg.theta),
+        )
+        res = mmsim_solve(
+            lq.qp.kkt_lcp(), spl,
+            MMSIMOptions(tol=cfg.tol, residual_tol=cfg.residual_tol),
+        )
+        restore_cells(design, model, res.z[: lq.num_variables], lq.x_origin)
+        raw_report = check_legality(design)
+        raw_kinds = raw_report.count_by_kind()
+        raw_disp = sum(c.displacement() for c in design.movable_cells)
+        # Snapping each cell to its nearest site *ignoring conflicts* is the
+        # unavoidable quantization floor; the Tetris stage's true cost is
+        # whatever the final flow adds beyond it.
+        core = design.core
+        snapped_disp = sum(
+            abs(core.snap_x(c.x) - c.gp_x) + abs(c.y - c.gp_y)
+            for c in design.movable_cells
+        )
+
+        # Full flow on a fresh copy.
+        design2 = make_benchmark(bench, scale=scale, seed=SEED, with_nets=False)
+        full = MMSIMLegalizer(cfg).legalize(design2)
+        assert check_legality(design2).is_legal
+        full_disp = full.displacement.total_manhattan
+
+        rows.append(
+            [
+                bench,
+                raw_kinds.get(ViolationKind.OVERLAP, 0),
+                raw_kinds.get(ViolationKind.OFF_SITE, 0),
+                round(raw_disp, 1),
+                round(snapped_disp, 1),
+                round(full_disp, 1),
+                round(
+                    100.0 * (full_disp - snapped_disp) / max(snapped_disp, 1e-9), 3
+                ),
+                full.num_illegal,
+            ]
+        )
+    return rows
+
+
+def test_ablation_tetris_fix_necessity(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = format_table(
+        [
+            "benchmark",
+            "raw overlaps",
+            "raw off-site",
+            "raw disp",
+            "snapped disp",
+            "final disp",
+            "fix cost %",
+            "#I.Cell",
+        ],
+        rows,
+        title=(
+            "Tetris-fix ablation: continuous MMSIM optimum, site-quantized "
+            "floor, and full flow"
+        ),
+    )
+    print()
+    print(table)
+    write_result("ablation_tetris_fix", table)
+
+    for row in rows:
+        # The raw output is off-grid (continuous optimum) — the stage is
+        # unconditionally necessary for constraint (2).
+        assert row[2] > 0
+        # ... but beyond the unavoidable site-quantization floor, conflict
+        # resolution adds under 2% displacement (the "near-optimal" claim).
+        assert row[6] < 2.0

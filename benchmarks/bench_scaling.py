@@ -1,0 +1,65 @@
+"""Scaling study: runtime and iteration count vs instance size.
+
+Supports the paper's "reasonable runtime" claim for this Python
+implementation: legalization wall time should grow roughly linearly in the
+cell count (sparse matvecs dominate; the iteration count stays roughly
+flat), and the Tetris/allocation stages must not blow up.
+
+Run:  pytest benchmarks/bench_scaling.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import write_result
+from repro.analysis import format_table
+from repro.benchgen import make_benchmark
+from repro.core import MMSIMLegalizer
+from repro.legality import check_legality
+
+SEED = 3
+SCALES = [0.01, 0.02, 0.05, 0.1]
+BENCH = "fft_2"
+
+
+def _run():
+    rows = []
+    for scale in SCALES:
+        design = make_benchmark(BENCH, scale=scale, seed=SEED, with_nets=False)
+        n = design.num_cells
+        t0 = time.perf_counter()
+        result = MMSIMLegalizer().legalize(design)
+        elapsed = time.perf_counter() - t0
+        assert check_legality(design).is_legal
+        rows.append(
+            [
+                scale,
+                n,
+                result.num_constraints,
+                result.iterations,
+                round(elapsed, 3),
+                round(1e6 * elapsed / n, 1),
+                round(result.stage_seconds.get("mmsim", 0.0), 3),
+                round(result.stage_seconds.get("tetris", 0.0), 3),
+            ]
+        )
+    return rows
+
+
+def test_scaling_runtime(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = format_table(
+        ["scale", "#cells", "#constraints", "iters", "total s", "µs/cell",
+         "mmsim s", "tetris s"],
+        rows,
+        title=f"Scaling of the MMSIM flow on {BENCH}",
+    )
+    print()
+    print(table)
+    write_result("scaling", table)
+
+    # Near-linear scaling: µs/cell must not explode (allow 8x drift over a
+    # 10x size range — iteration counts wander a little with size).
+    per_cell = [r[5] for r in rows]
+    assert max(per_cell) <= 8 * min(per_cell)

@@ -1,0 +1,45 @@
+"""Section 5.3 regenerator: MMSIM optimality on single-row-height designs.
+
+The paper replaces the MMSIM solver with Abacus's ``PlaceRow`` inside the
+same framework and reports *exactly equal* total displacements on all 20
+benchmarks (both are optimal for fixed row assignment and ordering), with
+the MMSIM 1.51x faster in their C++ implementation.
+
+We reproduce the equality on all 20 scaled benchmarks (the substantive
+claim: Theorem 2's optimality, cross-validated by an independent
+algorithm).  The speed ratio is reported but *expected to invert* here:
+`PlaceRow` is a tight O(n) loop while the MMSIM is an iterative sparse
+method — in pure Python the former has no interpreter-overhead handicap to
+amortize (see DESIGN.md, "Known deviations").
+
+The logic lives in :func:`repro.analysis.run_sec53` (also exposed as
+``repro-legalize bench sec53``).
+
+Run:  pytest benchmarks/bench_sec53_optimality.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from conftest import DEFAULT_CELL_CAP, write_result
+from repro.analysis import PAPER_SECTION53, run_sec53
+
+SEED = 2017
+
+
+def test_sec53_mmsim_matches_placerow(benchmark):
+    report = benchmark.pedantic(
+        run_sec53,
+        kwargs={"cell_cap": DEFAULT_CELL_CAP, "seed": SEED},
+        rounds=1,
+        iterations=1,
+    )
+    text = report.text + (
+        f"(paper, C++: MMSIM {PAPER_SECTION53['speedup_vs_placerow']}x faster "
+        f"than PlaceRow)\n"
+    )
+    print()
+    print(text)
+    write_result("sec53_optimality", text)
+
+    # The paper's claim: exact displacement equality on every benchmark.
+    assert report.extra["num_equal"] == 20

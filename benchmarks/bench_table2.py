@@ -1,0 +1,102 @@
+"""Table 2 regenerator: displacement / ΔHPWL / runtime comparison of the
+four legalizers (plus classic Tetris as an extra reference point).
+
+Role mapping (see DESIGN.md's substitution table):
+
+==============  ==========================================
+paper column    this repository
+==============  ==========================================
+DAC'16          ``ChowLegalizer()``
+DAC'16-Imp      ``ChowLegalizer(improved=True)``
+ASP-DAC'17      ``WangLegalizer()``
+Ours            ``MMSIMLegalizer()``
+==============  ==========================================
+
+Shape claims to reproduce (paper's N. Average row: 1.16 / 1.10 / 1.06 /
+1.00 displacement, 1.72 / 1.41 / 1.22 / 1.00 ΔHPWL):
+
+* "Ours" achieves the best average displacement and ΔHPWL;
+* the sequential methods trail it, with the local-region DAC'16 family
+  behind the order-preserving ASP-DAC'17 on the dense designs that
+  dominate the paper's averages.
+
+Runtime ratios are reported but not asserted: the paper compares four C++
+binaries, while here a vectorized-scipy MMSIM races pure-Python greedy
+loops (see DESIGN.md, "Known deviations").
+
+The logic lives in :func:`repro.analysis.run_table2` (also exposed as
+``repro-legalize bench table2``); this wrapper adds the per-benchmark
+breakdown table, timing, and the shape assertions.
+
+Run:  pytest benchmarks/bench_table2.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from conftest import DEFAULT_CELL_CAP, write_result
+from repro.analysis import PAPER_TABLE2, format_table, run_table2
+from repro.benchgen import PAPER_PROFILES
+
+SEED = 2017
+
+
+def test_table2_comparison(benchmark):
+    report = benchmark.pedantic(
+        run_table2,
+        kwargs={"cell_cap": DEFAULT_CELL_CAP, "seed": SEED},
+        rounds=1,
+        iterations=1,
+    )
+    records = report.extra["records"]
+    norm = report.extra["normalized"]
+
+    by_design = {}
+    for rec in records:
+        by_design.setdefault(rec.design, {})[rec.algorithm] = rec
+
+    rows = []
+    for profile in PAPER_PROFILES:
+        algos = by_design[profile.name]
+        paper = PAPER_TABLE2[profile.name]
+        ours = algos["mmsim"]
+        rows.append(
+            [
+                profile.name,
+                round(algos["chow"].disp_sites, 0),
+                round(algos["chow_imp"].disp_sites, 0),
+                round(algos["wang"].disp_sites, 0),
+                round(ours.disp_sites, 0),
+                round(100 * algos["chow"].delta_hpwl, 2),
+                round(100 * algos["wang"].delta_hpwl, 2),
+                round(100 * ours.delta_hpwl, 2),
+                round(ours.runtime, 2),
+                "yes" if all(r.legal for r in algos.values()) else "NO",
+                round(paper.disp["dac16"] / paper.disp["ours"], 2),
+                round(algos["chow"].disp_sites / max(ours.disp_sites, 1e-9), 2),
+            ]
+        )
+    table = format_table(
+        [
+            "benchmark", "chow", "chow_imp", "wang", "ours",
+            "ΔH chow%", "ΔH wang%", "ΔH ours%", "ours s", "legal",
+            "paper d16/ours", "meas d16/ours",
+        ],
+        rows,
+        title="Table 2 (scaled synthetic instances; displacement in sites)",
+    )
+    print()
+    print(table)
+    print(report.text)
+    write_result("table2", table + "\n" + report.text)
+
+    # ---- shape assertions -------------------------------------------
+    assert all(rec.legal for rec in records), "every algorithm must be legal"
+    disp = {name: norm[name]["disp"] for name in norm}
+    hpwl = {name: norm[name]["delta_hpwl"] for name in norm}
+    # Ours is the best on displacement, as in the paper.
+    for other in ("tetris", "chow", "chow_imp", "wang"):
+        assert disp[other] >= disp["mmsim"] - 1e-9
+    # ... and best or tied on ΔHPWL against the DAC'16 family.
+    assert hpwl["chow"] >= hpwl["mmsim"] - 0.05
+    # The DAC'16 family trails the order-preserving methods on average.
+    assert disp["chow"] >= disp["wang"] - 0.05

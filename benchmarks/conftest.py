@@ -1,0 +1,46 @@
+"""Shared benchmark-harness configuration.
+
+Every file in this directory regenerates one table or figure of the paper
+(see DESIGN.md's per-experiment index).  The synthetic instances are scaled
+so the whole suite runs in minutes of pure Python; set the environment
+variable ``REPRO_BENCH_CELL_CAP`` to raise the per-benchmark cell budget
+(the paper's full sizes correspond to scale 1.0).
+
+Result tables are printed to stdout *and* written to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can quote them.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.benchgen.profiles import BenchmarkProfile
+
+#: Default per-benchmark movable-cell budget (override via env).
+DEFAULT_CELL_CAP = int(os.environ.get("REPRO_BENCH_CELL_CAP", "2000"))
+
+#: Where regenerated tables are written.
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def bench_scale(profile: BenchmarkProfile, cap: int = None) -> float:
+    """Scale factor capping the instance at ``cap`` movable cells."""
+    cap = cap or DEFAULT_CELL_CAP
+    return min(1.0, cap / profile.num_cells)
+
+
+def write_result(name: str, text: str) -> str:
+    """Persist a regenerated table under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text)
+    return path
+
+
+@pytest.fixture
+def results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR

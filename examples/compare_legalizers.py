@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Head-to-head legalizer comparison on a paper benchmark (Table 2 style).
+
+Generates a synthetic `fft_2` instance (see repro.benchgen for how the
+paper's benchmark statistics are reproduced), runs all five legalizers on
+identical copies, and prints a Table-2-style report with normalized
+averages.
+
+Run:  python examples/compare_legalizers.py [benchmark] [scale]
+"""
+
+import sys
+
+from repro.analysis import format_table, normalized_averages, run_comparison
+from repro.baselines import ChowLegalizer, TetrisLegalizer, WangLegalizer
+from repro.benchgen import make_benchmark
+from repro.core import MMSIMLegalizer
+
+benchmark = sys.argv[1] if len(sys.argv) > 1 else "fft_2"
+scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.05
+
+legalizers = [
+    TetrisLegalizer(),
+    ChowLegalizer(),                 # plays DAC'16 in Table 2
+    ChowLegalizer(improved=True),    # plays DAC'16-Imp
+    WangLegalizer(),                 # plays ASP-DAC'17
+    MMSIMLegalizer(),                # "Ours"
+]
+
+records = run_comparison(
+    lambda: make_benchmark(benchmark, scale=scale, seed=7),
+    legalizers,
+)
+
+rows = [
+    [
+        r.algorithm,
+        r.disp_sites,
+        100.0 * r.delta_hpwl,
+        r.runtime,
+        r.legal,
+    ]
+    for r in records
+]
+print(
+    format_table(
+        ["algorithm", "disp (sites)", "ΔHPWL %", "runtime (s)", "legal"],
+        rows,
+        title=f"{benchmark} @ scale {scale} (lower is better)",
+    )
+)
+
+norm = normalized_averages(records, "mmsim")
+rows = [
+    [name, vals["disp"], vals["delta_hpwl"], vals["runtime"]]
+    for name, vals in sorted(norm.items())
+]
+print(
+    format_table(
+        ["algorithm", "norm disp", "norm ΔHPWL", "norm runtime"],
+        rows,
+        title="normalized to mmsim (the paper's N. Average row)",
+    )
+)

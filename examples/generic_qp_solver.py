@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""The paper's concluding claim, exercised: MMSIM as a generic QP engine.
+
+The paper argues its LCP + MMSIM formulation "provides new generic
+solutions ... for various optimization problems that require solving
+large-scale quadratic programs efficiently" (global placement, buffer and
+wire sizing, dummy fill, ...).  This example uses
+:func:`repro.qp.solve_qp_via_mmsim` on a problem that is *not*
+legalization: a 1-D **dummy-fill spacing** task.
+
+n metal tiles on a track each have a desired position (density target) and
+a minimum spacing; heavier tiles (higher capacitance sensitivity) should
+move less.  That is exactly
+
+    min ½ xᵀ W x − (W t)ᵀ x    s.t.   x_{i+1} − x_i >= s_i,  x >= 0
+
+with a diagonal (non-identity!) weight matrix W — handled by the general
+sparse-LU Schur path of the splitting, since there is no I + λEᵀE
+structure to exploit.
+
+Run:  python examples/generic_qp_solver.py
+"""
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.qp import QPProblem, solve_qp_via_mmsim, solve_reference
+
+rng = np.random.default_rng(42)
+n = 40
+
+# Desired tile positions: roughly uniform with jitter (density-driven).
+targets = np.sort(rng.uniform(0.0, 200.0, size=n))
+# Minimum spacings: tile width + keep-off.
+spacings = rng.uniform(3.0, 6.0, size=n - 1)
+# Sensitivity weights: a few "critical" tiles that should barely move.
+weights = np.where(rng.random(n) < 0.2, 25.0, 1.0)
+
+H = sp.diags(weights).tocsr()
+p = -(weights * targets)
+rows, cols, data = [], [], []
+for i in range(n - 1):
+    rows += [i, i]
+    cols += [i, i + 1]
+    data += [-1.0, 1.0]
+B = sp.csr_matrix((data, (rows, cols)), shape=(n - 1, n))
+qp = QPProblem(H=H, p=p, B=B, b=spacings)
+
+result = solve_qp_via_mmsim(qp)
+print(f"MMSIM: converged={result.converged} in {result.iterations} iterations")
+print(f"  objective     : {result.objective:.4f}")
+print(f"  KKT residual  : {result.kkt_residual:.2e}")
+print(f"  constraint ok : {qp.is_feasible(result.x, tol=1e-6)}")
+
+oracle = solve_reference(qp, method="active_set")
+gap = abs(result.objective - oracle.objective)
+print(f"  vs active-set oracle: gap = {gap:.2e}")
+assert gap < 1e-4
+
+moved = np.abs(result.x - targets)
+print(f"\ncritical tiles moved {moved[weights > 1].mean():.3f} on average,")
+print(f"regular tiles  moved {moved[weights == 1].mean():.3f} "
+      f"(weights steer displacement where it is cheap)")
+assert moved[weights > 1].mean() <= moved[weights == 1].mean() + 1e-9
+
+# The same call solves the legalization QP itself, of course:
+from repro.benchgen import generate_benchmark
+from repro.core.qp_builder import build_legalization_qp
+from repro.core.row_assign import assign_rows
+from repro.core.subcells import split_cells
+
+design = generate_benchmark("fft_a", scale=0.01, seed=1)
+model = split_cells(design, assign_rows(design))
+lq = build_legalization_qp(design, model)
+res = solve_qp_via_mmsim(lq.qp, E=lq.E, lam=lq.lam)  # Woodbury fast path
+print(f"\nlegalization QP ({lq.num_variables} vars, {lq.num_constraints} "
+      f"constraints): converged={res.converged} in {res.iterations} iterations")

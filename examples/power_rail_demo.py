@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""The paper's Figure 1: power-rail alignment for mixed-height cells.
+
+Recreates the three-cell scenario of Figure 1: odd-height cells A and C can
+sit on any row (flipping vertically when the rails do not line up), while
+the even-height cell B, whose bottom boundary is designed for VSS, may only
+sit on rows whose bottom rail is VSS — a mismatch cannot be fixed by
+flipping.
+
+The script shows the legal row sets, legalizes the cells, verifies the rail
+constraint held, and writes an SVG of the result.
+
+Run:  python examples/power_rail_demo.py
+"""
+
+from repro import CellMaster, CoreArea, Design, RailType, check_legality, legalize
+from repro.viz import save_svg
+
+core = CoreArea(num_rows=6, row_height=9.0, num_sites=30, site_width=1.0)
+design = Design(name="figure1", core=core)
+
+# Cell A: single-row height, bottom designed against VSS.  Any row works;
+# odd rows need a vertical flip.
+cell_a = CellMaster("A", width=6.0, height_rows=1, bottom_rail=RailType.VSS)
+# Cell B: double-row height, bottom designed against VSS.  Only rows with a
+# VSS bottom rail (0, 2, 4) are legal — flipping cannot help (Figure 1).
+cell_b = CellMaster("B", width=8.0, height_rows=2, bottom_rail=RailType.VSS)
+# Cell C: triple-row height.  Odd height => any row, possibly flipped.
+cell_c = CellMaster("C", width=5.0, height_rows=3)
+
+print("rail under each row:", [core.bottom_rail(r).value for r in range(6)])
+for master in (cell_a, cell_b, cell_c):
+    rows = core.correct_rows(master)
+    kind = "even-height (rail-locked)" if master.is_even_height else "odd-height (flippable)"
+    print(f"cell {master.name} [{kind:26s}] legal bottom rows: {rows}")
+
+# Drop the cells at GP positions that tempt B toward an illegal row:
+# its GP y (13.0) is nearest to row 1 (y=9, VDD rail) — the legalizer must
+# choose row 0 or row 2 instead.
+a = design.add_cell("A", cell_a, 2.0, 10.0)
+b = design.add_cell("B", cell_b, 9.0, 13.0)
+c = design.add_cell("C", cell_c, 19.0, 7.0)
+
+result = legalize(design)
+report = check_legality(design)
+print()
+print(result.summary())
+print(report.summary())
+for cell in (a, b, c):
+    row = cell.row_index
+    print(
+        f"cell {cell.name}: row {row} (bottom rail {core.bottom_rail(row).value})"
+        f"{' FLIPPED' if cell.flipped else ''}"
+    )
+assert b.row_index % 2 == 0, "B must sit on a VSS-bottom row"
+
+path = save_svg(design, "figure1_rails.svg", width_px=600)
+print(f"\nwrote {path}")

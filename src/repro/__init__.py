@@ -1,0 +1,49 @@
+"""repro — reproduction of "Toward Optimal Legalization for Mixed-Cell-Height
+Circuit Designs" (Chen, Zhu, Zhu, Chang; DAC 2017).
+
+Public API highlights
+---------------------
+- :class:`repro.Design`, :class:`repro.CellMaster`, :class:`repro.CoreArea`
+  — the placement database.
+- :func:`repro.legalize` / :class:`repro.MMSIMLegalizer` — the paper's
+  MMSIM-LCP legalization flow (Figure 4).
+- :mod:`repro.baselines` — Tetris, Abacus, and the DAC'16 / ASP-DAC'17-style
+  comparators of Table 2.
+- :mod:`repro.benchgen` — synthetic ISPD-2015-style mixed-cell-height
+  benchmarks matching the paper's Table 1 statistics.
+- :func:`repro.check_legality` — independent legality verification.
+"""
+
+from repro.detailed import DetailedPlacer
+from repro.core import (
+    LegalizationResult,
+    LegalizerConfig,
+    MMSIMLegalizer,
+    legalize,
+)
+from repro.legality import check_legality
+from repro.metrics import displacement_stats, wirelength_stats
+from repro.netlist import CellInstance, CellMaster, Design, Net, Pin, RailType
+from repro.rows import CoreArea, RailScheme
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Design",
+    "CellMaster",
+    "CellInstance",
+    "RailType",
+    "Net",
+    "Pin",
+    "CoreArea",
+    "RailScheme",
+    "MMSIMLegalizer",
+    "LegalizerConfig",
+    "LegalizationResult",
+    "legalize",
+    "DetailedPlacer",
+    "check_legality",
+    "displacement_stats",
+    "wirelength_stats",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Experiment harness: comparisons, table rendering, and the paper's data."""
+
+from repro.analysis.compare import RunRecord, normalized_averages, run_comparison, run_one
+from repro.analysis.experiments import (
+    ExperimentReport,
+    run_sec53,
+    run_table1,
+    run_table2,
+)
+from repro.analysis.paper_data import (
+    PAPER_SECTION53,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE2_NORMALIZED,
+    TABLE2_ALGORITHMS,
+)
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "run_one",
+    "run_table1",
+    "run_table2",
+    "run_sec53",
+    "ExperimentReport",
+    "run_comparison",
+    "normalized_averages",
+    "RunRecord",
+    "format_table",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_TABLE2_NORMALIZED",
+    "PAPER_SECTION53",
+    "TABLE2_ALGORITHMS",
+]

@@ -1,0 +1,103 @@
+"""Uniform multi-legalizer comparison harness (Table 2 machinery).
+
+``run_comparison`` runs several legalizers on *identical copies* of a
+design (positions reset between runs) and measures every algorithm with the
+same, external metric code — no legalizer reports its own score.  The
+result is a list of :class:`RunRecord` plus normalized averages exactly as
+the paper's "N. Average" row computes them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.legality.checker import check_legality
+from repro.metrics.displacement import displacement_stats
+from repro.metrics.hpwl import wirelength_stats
+from repro.netlist.design import Design
+
+
+@dataclass
+class RunRecord:
+    """One (design, algorithm) measurement."""
+
+    design: str
+    algorithm: str
+    disp_sites: float
+    delta_hpwl: float
+    runtime: float
+    legal: bool
+    num_violations: int
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+def run_one(design: Design, legalizer) -> RunRecord:
+    """Run a legalizer on a design (in place) and measure externally."""
+    start = time.perf_counter()
+    result = legalizer.legalize(design)
+    runtime = time.perf_counter() - start
+    report = check_legality(design)
+    disp = displacement_stats(design)
+    wl = wirelength_stats(design) if design.nets else None
+    extra: Dict[str, float] = {}
+    for key in ("num_illegal", "iterations", "num_failed"):
+        value = getattr(result, key, None)
+        if value is not None:
+            extra[key] = float(value)
+    return RunRecord(
+        design=design.name,
+        algorithm=legalizer.name,
+        disp_sites=disp.total_manhattan_sites,
+        delta_hpwl=wl.delta_hpwl if wl else 0.0,
+        runtime=runtime,
+        legal=report.is_legal,
+        num_violations=len(report.violations),
+        extra=extra,
+    )
+
+
+def run_comparison(
+    design_factory: Callable[[], Design],
+    legalizers: Sequence,
+) -> List[RunRecord]:
+    """Run every legalizer on a fresh copy of the same design.
+
+    ``design_factory`` must return an identical design each call (e.g. a
+    deterministic generator closure or ``lambda: base.clone()``).
+    """
+    records = []
+    for legalizer in legalizers:
+        design = design_factory()
+        records.append(run_one(design, legalizer))
+    return records
+
+
+def normalized_averages(
+    records: List[RunRecord], reference_algorithm: str
+) -> Dict[str, Dict[str, float]]:
+    """The paper's "N. Average": per-benchmark ratios vs a reference
+    algorithm, averaged over benchmarks, for disp / ΔHPWL / runtime."""
+    by_design: Dict[str, Dict[str, RunRecord]] = {}
+    for rec in records:
+        by_design.setdefault(rec.design, {})[rec.algorithm] = rec
+
+    sums: Dict[str, Dict[str, float]] = {}
+    counts: Dict[str, int] = {}
+    for design, algos in by_design.items():
+        ref = algos.get(reference_algorithm)
+        if ref is None:
+            continue
+        for name, rec in algos.items():
+            entry = sums.setdefault(name, {"disp": 0.0, "delta_hpwl": 0.0, "runtime": 0.0})
+            entry["disp"] += rec.disp_sites / ref.disp_sites if ref.disp_sites else 1.0
+            entry["delta_hpwl"] += (
+                rec.delta_hpwl / ref.delta_hpwl if ref.delta_hpwl > 0 else 1.0
+            )
+            entry["runtime"] += rec.runtime / ref.runtime if ref.runtime else 1.0
+            counts[name] = counts.get(name, 0) + 1
+    return {
+        name: {k: v / counts[name] for k, v in entry.items()}
+        for name, entry in sums.items()
+    }

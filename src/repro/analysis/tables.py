@@ -1,0 +1,61 @@
+"""Plain-text table rendering for benchmark reports.
+
+Minimal, dependency-free fixed-width tables used by the benchmark harness
+to print Table 1 / Table 2 style reports next to the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a fixed-width table.
+
+    Numbers are right-aligned and formatted compactly; everything else is
+    left-aligned.  Returns a string ending in a newline.
+    """
+    rendered: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str], row_values: Optional[Sequence[Any]] = None) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            value = row_values[i] if row_values is not None else None
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                parts.append(cell.rjust(widths[i]))
+            elif row_values is None:
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append("  ".join("-" * w for w in widths))
+    for raw, row in zip(rows, rendered):
+        out.append(line(row, raw))
+    return "\n".join(out) + "\n"
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)

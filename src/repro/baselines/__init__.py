@@ -1,0 +1,23 @@
+"""Baseline legalizers: Tetris, Abacus/PlaceRow, DAC'16-like, ASP-DAC'17-like."""
+
+from repro.baselines.abacus import AbacusLegalizer, PlaceRowLegalizer
+from repro.baselines.chow import ChowLegalizer
+from repro.baselines.common import BaselineResult, Legalizer, finish_result
+from repro.baselines.placerow import Cluster, RowPlacer
+from repro.baselines.refine import placerow_refine
+from repro.baselines.tetris import TetrisLegalizer
+from repro.baselines.wang import WangLegalizer
+
+__all__ = [
+    "TetrisLegalizer",
+    "AbacusLegalizer",
+    "PlaceRowLegalizer",
+    "ChowLegalizer",
+    "WangLegalizer",
+    "RowPlacer",
+    "Cluster",
+    "placerow_refine",
+    "BaselineResult",
+    "Legalizer",
+    "finish_result",
+]

@@ -1,0 +1,157 @@
+"""Abacus legalization (Spindler, Schlichtmann, Johannes; ISPD'08).
+
+Two legalizers built on :class:`~repro.baselines.placerow.RowPlacer`:
+
+* :class:`PlaceRowLegalizer` — the paper's Section 5.3 comparator: cells go
+  to their *nearest correct row* (the same assignment the MMSIM flow uses)
+  and each row is solved optimally by ``PlaceRow``.  On single-row-height
+  designs this produces the exact same optimal x positions as the MMSIM,
+  which is the optimality cross-check of Section 5.3.
+
+* :class:`AbacusLegalizer` — classic full Abacus: cells in x order, each
+  tried in nearby rows via trial PlaceRow insertions, committed to the
+  cheapest row.  Only defined for single-row-height designs (the paper's
+  Section 5.3 remark: with multi-row cells the dynamic-programming optimal
+  substructure breaks, which is precisely the motivation for the MMSIM).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.baselines.common import BaselineResult, finish_result
+from repro.baselines.placerow import RowPlacer, quadratic_cost
+from repro.core.row_assign import assign_rows
+from repro.netlist.design import Design
+from repro.utils.timer import StageTimer
+
+
+class PlaceRowLegalizer:
+    """Nearest-correct-row assignment + per-row optimal PlaceRow.
+
+    ``relax_right_boundary=True`` mirrors the MMSIM relaxation (cells may
+    exceed the right edge; callers re-legalize with the Tetris stage);
+    the default clamps into the row like classic Abacus.
+    """
+
+    name = "placerow"
+
+    def __init__(self, relax_right_boundary: bool = False) -> None:
+        self.relax_right_boundary = relax_right_boundary
+
+    def legalize(self, design: Design) -> BaselineResult:
+        timer = StageTimer()
+        core = design.core
+        with timer.stage("row_assign"):
+            assignment = assign_rows(design)
+
+        with timer.stage("placerow"):
+            xh = math.inf if self.relax_right_boundary else core.xh
+            failed = 0
+            for row, cells in sorted(assignment.rows.items()):
+                multi = [c for c in cells if c.height_rows > 1]
+                if multi:
+                    raise ValueError(
+                        "PlaceRowLegalizer only supports single-row-height "
+                        f"designs; row {row} holds multi-row cell "
+                        f"{multi[0].name!r} (use the MMSIM flow instead)"
+                    )
+                placer = RowPlacer(core.xl, xh)
+                for cell in cells:  # already in GP-x order
+                    placer.append(cell.id, cell.gp_x, cell.width)
+                placer.snap_to_sites(core.xl, core.site_width)
+                for cid, x in placer.positions():
+                    design.cells[cid].x = x
+        return finish_result(
+            design, self.name, timer.total(), num_failed=failed,
+            stage_seconds=timer.as_dict(),
+        )
+
+
+class AbacusLegalizer:
+    """Classic Abacus: greedy row search with trial PlaceRow insertions.
+
+    ``row_search_range`` bounds how far (in rows) from the ideal row the
+    search looks; the scan prunes as soon as the y cost alone exceeds the
+    best known total cost, so the bound is rarely hit.
+    """
+
+    name = "abacus"
+
+    def __init__(self, row_search_range: int = 64) -> None:
+        self.row_search_range = row_search_range
+
+    def legalize(self, design: Design) -> BaselineResult:
+        timer = StageTimer()
+        core = design.core
+        with timer.stage("abacus"):
+            placers: Dict[int, RowPlacer] = {
+                r: RowPlacer(core.xl, core.xh) for r in range(core.num_rows)
+            }
+            cells = sorted(design.movable_cells, key=lambda c: (c.gp_x, c.id))
+            failed = 0
+            for cell in cells:
+                if cell.height_rows > 1:
+                    raise ValueError(
+                        "classic Abacus does not handle multi-row cells; use "
+                        "WangLegalizer or the MMSIM flow for mixed heights"
+                    )
+                best_row = self._best_row(cell, core, placers)
+                if best_row is None:
+                    failed += 1
+                    continue
+                placers[best_row].append(cell.id, cell.gp_x, cell.width)
+                cell.row_index = best_row
+                cell.y = core.row_y(best_row)
+                cell.flipped = (
+                    cell.master.bottom_rail is not None
+                    and core.rails.needs_flip(cell.master, best_row)
+                )
+
+            for row, placer in placers.items():
+                placer.snap_to_sites(core.xl, core.site_width)
+                for cid, x in placer.positions():
+                    design.cells[cid].x = x
+
+        if any(cell.fixed for cell in design.cells):
+            # Row placers are obstacle-blind; re-commit through the
+            # obstacle-aware allocation.
+            with timer.stage("obstacle_repair"):
+                from repro.core.tetris_fix import tetris_allocate
+
+                tetris_allocate(design)
+        return finish_result(
+            design, self.name, timer.total(), num_failed=failed,
+            stage_seconds=timer.as_dict(),
+        )
+
+    def _best_row(self, cell, core, placers) -> Optional[int]:
+        ideal = core.row_of_y(cell.gp_y)
+        best_row: Optional[int] = None
+        best_cost = math.inf
+        for offset in range(self.row_search_range + 1):
+            for row in {ideal - offset, ideal + offset}:
+                if not 0 <= row < core.num_rows:
+                    continue
+                dy = core.row_y(row) - cell.gp_y
+                if dy * dy >= best_cost:
+                    continue
+                placer = placers[row]
+                # Capacity check: a full row cannot take the cell.
+                if placer.used_width + cell.width > core.width + 1e-9:
+                    continue
+                x = placer.trial_append(cell.gp_x, cell.width)
+                if x is None:
+                    continue
+                cost = quadratic_cost(x - cell.gp_x, dy)
+                if cost < best_cost:
+                    best_cost = cost
+                    best_row = row
+            # Prune: if even the closest untried row's dy² exceeds best.
+            dy_next = (offset + 1) * core.row_height - abs(
+                cell.gp_y - core.row_y(ideal)
+            )
+            if best_row is not None and dy_next > 0 and dy_next * dy_next >= best_cost:
+                break
+        return best_row

@@ -1,0 +1,75 @@
+"""Shared baseline-legalizer plumbing.
+
+Every legalizer in this repository (the MMSIM flow and all baselines)
+follows one protocol: a ``name`` attribute and a ``legalize(design)`` method
+that mutates cell positions in place and returns a result object exposing
+``runtime``.  :class:`BaselineResult` is the light-weight result the
+baselines return; the Table 2 harness recomputes displacement / ΔHPWL
+itself from the design so all algorithms are measured identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Protocol
+
+from repro.metrics.displacement import DisplacementStats, displacement_stats
+from repro.metrics.hpwl import WirelengthStats, wirelength_stats
+from repro.netlist.design import Design
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of one baseline legalization run."""
+
+    algorithm: str
+    design_name: str
+    runtime: float
+    num_failed: int = 0          # cells that found no legal position
+    displacement: DisplacementStats = None
+    wirelength: WirelengthStats = None
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        disp = (
+            f"{self.displacement.total_manhattan_sites:.0f} sites"
+            if self.displacement
+            else "n/a"
+        )
+        dh = (
+            f"{self.wirelength.delta_hpwl_percent:+.2f}%"
+            if self.wirelength
+            else "n/a"
+        )
+        return (
+            f"{self.design_name} [{self.algorithm}]: disp={disp}, ΔHPWL={dh}, "
+            f"failed={self.num_failed}, runtime={self.runtime:.2f}s"
+        )
+
+
+class Legalizer(Protocol):
+    """The protocol every legalizer satisfies."""
+
+    name: str
+
+    def legalize(self, design: Design):  # pragma: no cover - protocol
+        ...
+
+
+def finish_result(
+    design: Design,
+    algorithm: str,
+    runtime: float,
+    num_failed: int = 0,
+    stage_seconds: Dict[str, float] = None,
+) -> BaselineResult:
+    """Assemble a BaselineResult with freshly computed metrics."""
+    return BaselineResult(
+        algorithm=algorithm,
+        design_name=design.name,
+        runtime=runtime,
+        num_failed=num_failed,
+        displacement=displacement_stats(design),
+        wirelength=wirelength_stats(design) if design.nets else None,
+        stage_seconds=stage_seconds or {},
+    )

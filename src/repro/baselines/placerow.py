@@ -1,0 +1,249 @@
+"""Abacus ``PlaceRow``: optimal single-row placement with fixed ordering.
+
+The cluster-collapse dynamic of Spindler et al. (ISPD'08): cells are
+appended to a row in x order; each cell starts its own cluster at its
+preferred position, and clusters that overlap their predecessor merge, the
+merged cluster moving to the weighted mean of its members' preferred
+positions (clamped into the row).  For a fixed ordering this yields the
+*optimal* quadratic-displacement positions in O(n) amortized — the oracle
+the paper compares its MMSIM against in Section 5.3.
+
+Extensions over the classic formulation:
+
+* **trial mode** — :meth:`RowPlacer.trial_append` computes the position a
+  cell *would* get without mutating the row (a virtual walk over the
+  cluster chain), which the row-searching legalizers use to evaluate
+  candidate rows cheaply;
+* **walls** — immovable clusters (:meth:`RowPlacer.append_wall`) that stop
+  the collapse, used by the ASP-DAC'17-style baseline to model committed
+  multi-row cells crossing this row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class Cluster:
+    """A maximal group of abutting cells sharing one optimal position."""
+
+    e: float = 0.0       # total weight
+    q: float = 0.0       # Σ e_i (x'_i − offset_i)
+    w: float = 0.0       # total width
+    x: float = 0.0       # current (optimal) left edge
+    wall: bool = False   # immovable obstacle (multi-row cell / blockage)
+    members: List[Tuple[int, float, float]] = field(default_factory=list)
+    # members: (cell_id, preferred_x, width) in order
+
+
+class RowPlacer:
+    """One row's PlaceRow state.
+
+    ``xl`` / ``xh`` bound cluster positions (``xh`` may be ``inf`` to model
+    the paper's relaxed right boundary).
+    """
+
+    def __init__(self, xl: float, xh: float) -> None:
+        if xh <= xl:
+            raise ValueError("row must have positive extent")
+        self.xl = xl
+        self.xh = xh
+        self.clusters: List[Cluster] = []
+        self.used_width = 0.0
+        # Leftmost achievable frontier if every movable cluster were packed
+        # flush left (walls stay put); the feasibility bound for pins.
+        self.packed_frontier = xl
+
+    # ------------------------------------------------------------------
+    # Core dynamics
+    # ------------------------------------------------------------------
+    def _clamp(self, x: float, width: float) -> float:
+        hi = self.xh - width
+        return min(max(x, self.xl), max(hi, self.xl))
+
+    def append(self, cell_id: int, preferred_x: float, width: float, weight: float = 1.0) -> float:
+        """Commit a cell to the row end; returns its final x position."""
+        cluster = Cluster(
+            e=weight,
+            q=weight * preferred_x,
+            w=width,
+            members=[(cell_id, preferred_x, width)],
+        )
+        cluster.x = self._clamp(cluster.q / cluster.e, cluster.w)
+        self.clusters.append(cluster)
+        self.used_width += width
+        self.packed_frontier += width
+        self._collapse()
+        return self.cell_position(cell_id)
+
+    def append_wall(self, cell_id: int, x: float, width: float) -> None:
+        """Commit an immovable obstacle at a fixed position.
+
+        The obstacle must start at or after the current row frontier (walls
+        never push committed cells).
+        """
+        if x < self.frontier() - 1e-9:
+            raise ValueError(
+                f"wall at {x} would overlap the row frontier {self.frontier()}"
+            )
+        wall = Cluster(e=0.0, q=0.0, w=width, x=x, wall=True)
+        wall.members = [(cell_id, x, width)]
+        self.clusters.append(wall)
+        self.used_width += width
+        self.packed_frontier = max(self.packed_frontier, x + width)
+
+    def append_pinned(self, cell_id: int, x: float, width: float) -> None:
+        """Commit an immovable cell at exactly *x*, pushing predecessors left.
+
+        Unlike :meth:`append_wall`, the pin may land left of the current
+        frontier: movable predecessor clusters are compressed leftward to
+        make room (their positions become suboptimal — that is the cost a
+        sequential legalizer pays for fixing a multi-row cell's x across
+        several rows).  The caller must ensure ``x >= packed_frontier``.
+        """
+        if x < self.packed_frontier - 1e-9:
+            raise ValueError(
+                f"pin at {x} is infeasible; packed frontier is "
+                f"{self.packed_frontier}"
+            )
+        if x + width > self.xh + 1e-9:
+            raise ValueError(f"pin at {x} exceeds the row end {self.xh}")
+        # Compress predecessors against the pin.
+        bound = x
+        for i in range(len(self.clusters) - 1, -1, -1):
+            cluster = self.clusters[i]
+            if cluster.x + cluster.w <= bound + 1e-12:
+                break
+            if cluster.wall:
+                raise ValueError("pin overlaps an existing wall")
+            cluster.x = bound - cluster.w
+            bound = cluster.x
+        wall = Cluster(e=0.0, q=0.0, w=width, x=x, wall=True)
+        wall.members = [(cell_id, x, width)]
+        self.clusters.append(wall)
+        self.used_width += width
+        self.packed_frontier = max(self.packed_frontier, x + width)
+
+    def _collapse(self) -> None:
+        """Merge the trailing cluster leftward while it overlaps."""
+        while len(self.clusters) >= 2:
+            cur = self.clusters[-1]
+            prev = self.clusters[-2]
+            if prev.x + prev.w <= cur.x + 1e-12:
+                return
+            if prev.wall:
+                # Clamp against the wall instead of merging.
+                cur.x = self._clamp(max(cur.x, prev.x + prev.w), cur.w)
+                if cur.x < prev.x + prev.w - 1e-9:
+                    raise RuntimeError(
+                        "cluster squeezed between a wall and the right "
+                        "boundary; callers must trial-check feasibility first"
+                    )
+                return
+            # Merge prev <- cur.
+            prev.q = prev.q + cur.q - cur.e * prev.w
+            prev.e += cur.e
+            prev.members.extend(cur.members)
+            prev.w += cur.w
+            prev.x = self._clamp(prev.q / prev.e if prev.e else prev.x, prev.w)
+            self.clusters.pop()
+
+    # ------------------------------------------------------------------
+    # Trial (read-only) insertion
+    # ------------------------------------------------------------------
+    def trial_append(
+        self, preferred_x: float, width: float, weight: float = 1.0
+    ) -> Optional[float]:
+        """Position the cell would get from :meth:`append`, without mutating.
+
+        Returns None when the append is infeasible: the suffix of the row
+        after the last wall cannot absorb the cell within the right
+        boundary (walls are immovable, so no legal position exists).
+        """
+        ce, cq, cw = weight, weight * preferred_x, width
+        x = self._clamp(cq / ce, cw)
+        i = len(self.clusters) - 1
+        while i >= 0:
+            prev = self.clusters[i]
+            if prev.x + prev.w <= x + 1e-12:
+                break
+            if prev.wall:
+                x = self._clamp(max(x, prev.x + prev.w), cw)
+                if x < prev.x + prev.w - 1e-9:
+                    return None  # squeezed between wall and right boundary
+                break
+            cq = prev.q + cq - ce * prev.w
+            ce += prev.e
+            cw = prev.w + cw
+            x = self._clamp(cq / ce if ce else x, cw)
+            i -= 1
+        # New cell is the last member: offset = merged width − own width.
+        return x + cw - width
+
+    def frontier(self) -> float:
+        """Right edge of the last cluster (xl for an empty row)."""
+        if not self.clusters:
+            return self.xl
+        last = self.clusters[-1]
+        return last.x + last.w
+
+    # ------------------------------------------------------------------
+    # Extraction
+    # ------------------------------------------------------------------
+    def cell_position(self, cell_id: int) -> float:
+        """Current x of a committed cell (linear scan; prefer positions())."""
+        for cluster in self.clusters:
+            offset = 0.0
+            for cid, _, width in cluster.members:
+                if cid == cell_id:
+                    return cluster.x + offset
+                offset += width
+        raise KeyError(f"cell {cell_id} not in this row")
+
+    def positions(self) -> List[Tuple[int, float]]:
+        """(cell_id, x) for every committed cell, left to right."""
+        out: List[Tuple[int, float]] = []
+        for cluster in self.clusters:
+            offset = 0.0
+            for cid, _, width in cluster.members:
+                out.append((cid, cluster.x + offset))
+                offset += width
+        return out
+
+    def snap_to_sites(self, origin: float, pitch: float) -> None:
+        """Round every movable cluster's left edge to the site grid.
+
+        With integer-site widths and non-negative inter-cluster gaps,
+        nearest-rounding every cluster start preserves legality, except
+        that rounding *up* must not collide with an immovable wall (or the
+        row end) to the right — in that case the cluster rounds down.
+        """
+        import math
+
+        # bound[i]: start of the nearest wall right of cluster i (or xh).
+        bounds = [self.xh] * len(self.clusters)
+        next_wall = self.xh
+        for i in range(len(self.clusters) - 1, -1, -1):
+            bounds[i] = next_wall
+            if self.clusters[i].wall:
+                next_wall = self.clusters[i].x
+
+        prev_end = self.xl
+        for i, cluster in enumerate(self.clusters):
+            if cluster.wall:
+                prev_end = cluster.x + cluster.w
+                continue
+            k = math.floor((cluster.x - origin) / pitch + 0.5)
+            x = origin + k * pitch
+            if x + cluster.w > bounds[i] + 1e-9:
+                x -= pitch
+            x = max(x, prev_end, self.xl)
+            cluster.x = x
+            prev_end = x + cluster.w
+
+
+def quadratic_cost(dx: float, dy: float) -> float:
+    """Abacus's row-selection cost: squared Euclidean displacement."""
+    return dx * dx + dy * dy

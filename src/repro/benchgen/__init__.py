@@ -1,0 +1,37 @@
+"""Synthetic ISPD-2015-style benchmark generation (paper Table 1 profiles)."""
+
+from repro.benchgen.generator import GeneratorConfig, generate_benchmark
+from repro.benchgen.netgen import NetgenConfig, generate_nets
+from repro.benchgen.profiles import (
+    PAPER_PROFILES,
+    PROFILES_BY_NAME,
+    BenchmarkProfile,
+    get_profile,
+)
+
+
+def make_benchmark(
+    name: str,
+    scale: float = 0.02,
+    seed: int = 0,
+    mixed: bool = True,
+    with_nets: bool = True,
+):
+    """One-call benchmark construction: cells + GP + synthetic netlist."""
+    design = generate_benchmark(name, scale=scale, seed=seed, mixed=mixed)
+    if with_nets:
+        generate_nets(design, seed=seed + 1)
+    return design
+
+
+__all__ = [
+    "generate_benchmark",
+    "generate_nets",
+    "make_benchmark",
+    "GeneratorConfig",
+    "NetgenConfig",
+    "BenchmarkProfile",
+    "PAPER_PROFILES",
+    "PROFILES_BY_NAME",
+    "get_profile",
+]

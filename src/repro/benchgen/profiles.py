@@ -1,0 +1,101 @@
+"""Profiles of the paper's 20 benchmarks (Table 1 statistics).
+
+The paper evaluates on benchmarks derived from the ISPD-2015 contest by
+Chow et al.: fence regions dropped, and 10% of cells doubled in height and
+halved in width.  Those files are not redistributable, so we regenerate
+*synthetic* instances that match each benchmark's published statistics —
+single/double cell counts and design density — at a configurable ``scale``
+(fraction of the original cell count), as recorded in DESIGN.md's
+substitution table.
+
+``GP_HPWL_M`` (Table 2's "GP HPWL" column, in meters) is kept for
+reporting side-by-side with our synthetic instances' HPWL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Published statistics of one paper benchmark."""
+
+    name: str
+    num_single: int     # "#S. Cell" of Table 1
+    num_double: int     # "#D. Cell" of Table 1
+    density: float      # "Density" of Table 1
+    gp_hpwl_m: float    # "GP HPWL (m)" of Table 2
+
+    @property
+    def num_cells(self) -> int:
+        return self.num_single + self.num_double
+
+    @property
+    def double_fraction(self) -> float:
+        return self.num_double / self.num_cells
+
+    def scaled(self, scale: float) -> "ScaledProfile":
+        """Target counts after applying a generation scale factor."""
+        if not 0.0 < scale <= 1.0:
+            raise ValueError("scale must be in (0, 1]")
+        num_single = max(1, round(self.num_single * scale))
+        num_double = max(1, round(self.num_double * scale)) if self.num_double else 0
+        return ScaledProfile(
+            profile=self, scale=scale, num_single=num_single, num_double=num_double
+        )
+
+
+@dataclass(frozen=True)
+class ScaledProfile:
+    """A profile with concrete generation counts."""
+
+    profile: BenchmarkProfile
+    scale: float
+    num_single: int
+    num_double: int
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    @property
+    def density(self) -> float:
+        return self.profile.density
+
+
+#: Table 1 of the paper, column for column (plus Table 2's GP HPWL).
+PAPER_PROFILES: List[BenchmarkProfile] = [
+    BenchmarkProfile("des_perf_1", 103842, 8802, 0.91, 1.43),
+    BenchmarkProfile("des_perf_a", 99775, 8513, 0.43, 2.57),
+    BenchmarkProfile("des_perf_b", 103842, 8802, 0.50, 2.13),
+    BenchmarkProfile("edit_dist_a", 121913, 5500, 0.46, 5.25),
+    BenchmarkProfile("fft_1", 30297, 1984, 0.84, 0.46),
+    BenchmarkProfile("fft_2", 30297, 1984, 0.50, 0.46),
+    BenchmarkProfile("fft_a", 28718, 1907, 0.25, 0.75),
+    BenchmarkProfile("fft_b", 28718, 1907, 0.28, 0.95),
+    BenchmarkProfile("matrix_mult_1", 152427, 2898, 0.80, 2.39),
+    BenchmarkProfile("matrix_mult_2", 152427, 2898, 0.79, 2.59),
+    BenchmarkProfile("matrix_mult_a", 146837, 2813, 0.42, 3.77),
+    BenchmarkProfile("matrix_mult_b", 143695, 2740, 0.31, 3.43),
+    BenchmarkProfile("matrix_mult_c", 143695, 2740, 0.31, 3.29),
+    BenchmarkProfile("pci_bridge32_a", 26268, 3249, 0.38, 0.46),
+    BenchmarkProfile("pci_bridge32_b", 25734, 3180, 0.14, 0.98),
+    BenchmarkProfile("superblue11_a", 861314, 64302, 0.43, 42.94),
+    BenchmarkProfile("superblue12", 1172586, 114362, 0.45, 39.23),
+    BenchmarkProfile("superblue14", 564769, 47474, 0.56, 27.98),
+    BenchmarkProfile("superblue16_a", 625419, 55031, 0.48, 31.35),
+    BenchmarkProfile("superblue19", 478109, 27988, 0.52, 20.76),
+]
+
+PROFILES_BY_NAME: Dict[str, BenchmarkProfile] = {p.name: p for p in PAPER_PROFILES}
+
+
+def get_profile(name: str) -> BenchmarkProfile:
+    """Look up a paper benchmark profile by name."""
+    try:
+        return PROFILES_BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(PROFILES_BY_NAME))
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None

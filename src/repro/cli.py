@@ -1,0 +1,200 @@
+"""Command-line interface: ``repro-legalize``.
+
+Subcommands
+-----------
+``gen``      generate a synthetic benchmark (Bookshelf or JSON output)
+``legalize`` legalize a design file with a chosen algorithm
+``check``    verify legality of a design file (``--full`` adds metrics)
+``compare``  run several legalizers on one benchmark and print a table
+``bench``    regenerate one of the paper's experiments (table1/table2/sec53)
+
+Design files are Bookshelf ``.aux`` suites or this package's ``.json``
+format (chosen by extension).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.analysis.compare import run_comparison
+from repro.analysis.tables import format_table
+from repro.baselines import ChowLegalizer, TetrisLegalizer, WangLegalizer
+from repro.benchgen import make_benchmark
+from repro.core.legalizer import LegalizerConfig, MMSIMLegalizer
+from repro.io import load_design, read_design, save_design, write_design
+from repro.legality import check_legality
+from repro.netlist.design import Design
+from repro.viz import save_svg
+
+ALGORITHMS = {
+    "mmsim": lambda: MMSIMLegalizer(),
+    "tetris": lambda: TetrisLegalizer(),
+    "chow": lambda: ChowLegalizer(),
+    "chow_imp": lambda: ChowLegalizer(improved=True),
+    "wang": lambda: WangLegalizer(),
+}
+
+
+def _load(path: str) -> Design:
+    if path.endswith(".json"):
+        return load_design(path)
+    if path.endswith(".aux"):
+        return read_design(path)
+    raise SystemExit(f"unsupported design file {path!r} (use .aux or .json)")
+
+
+def _save(design: Design, path: str) -> None:
+    if path.endswith(".json"):
+        save_design(design, path)
+    elif path.endswith(".aux"):
+        import os
+
+        directory = os.path.dirname(os.path.abspath(path))
+        base = os.path.splitext(os.path.basename(path))[0]
+        write_design(design, directory, base)
+    else:
+        raise SystemExit(f"unsupported output file {path!r} (use .aux or .json)")
+
+
+def cmd_gen(args: argparse.Namespace) -> int:
+    design = make_benchmark(
+        args.benchmark, scale=args.scale, seed=args.seed, mixed=not args.single_height
+    )
+    _save(design, args.output)
+    print(
+        f"generated {design.name}: {design.num_cells} cells, "
+        f"density {design.density():.2f} -> {args.output}"
+    )
+    return 0
+
+
+def cmd_legalize(args: argparse.Namespace) -> int:
+    design = _load(args.input)
+    factory = ALGORITHMS.get(args.algorithm)
+    if factory is None:
+        raise SystemExit(f"unknown algorithm {args.algorithm!r}")
+    legalizer = factory()
+    if args.algorithm == "mmsim" and args.lam is not None:
+        legalizer = MMSIMLegalizer(LegalizerConfig(lam=args.lam))
+    result = legalizer.legalize(design)
+    print(result.summary())
+    report = check_legality(design)
+    print(report.summary())
+    if args.output:
+        _save(design, args.output)
+    if args.svg:
+        save_svg(design, args.svg)
+        print(f"wrote {args.svg}")
+    return 0 if report.is_legal else 1
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    design = _load(args.input)
+    if args.full:
+        from repro.metrics import quality_report
+
+        report = quality_report(design)
+        print(report.format())
+        for violation in report.legality.violations[: args.max_messages]:
+            print(" ", violation.message)
+        return 0 if report.is_legal else 1
+    report = check_legality(design)
+    print(report.summary())
+    for violation in report.violations[: args.max_messages]:
+        print(" ", violation.message)
+    return 0 if report.is_legal else 1
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.analysis import run_sec53, run_table1, run_table2
+
+    runners = {"table1": run_table1, "table2": run_table2, "sec53": run_sec53}
+    report = runners[args.experiment](cell_cap=args.cell_cap, seed=args.seed)
+    print(report.text)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(report.text)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    names = args.algorithms.split(",")
+    for name in names:
+        if name not in ALGORITHMS:
+            raise SystemExit(f"unknown algorithm {name!r}")
+
+    def factory() -> Design:
+        return make_benchmark(args.benchmark, scale=args.scale, seed=args.seed)
+
+    records = run_comparison(factory, [ALGORITHMS[n]() for n in names])
+    rows = [
+        [r.algorithm, r.disp_sites, 100 * r.delta_hpwl, r.runtime, r.legal]
+        for r in records
+    ]
+    print(
+        format_table(
+            ["algorithm", "disp (sites)", "dHPWL %", "runtime (s)", "legal"],
+            rows,
+            title=f"{args.benchmark} @ scale {args.scale}",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-legalize",
+        description="Mixed-cell-height legalization (DAC'17 MMSIM reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("gen", help="generate a synthetic benchmark")
+    p.add_argument("benchmark", help="paper benchmark name, e.g. fft_2")
+    p.add_argument("output", help="output file (.aux or .json)")
+    p.add_argument("--scale", type=float, default=0.02)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--single-height", action="store_true")
+    p.set_defaults(func=cmd_gen)
+
+    p = sub.add_parser("legalize", help="legalize a design file")
+    p.add_argument("input")
+    p.add_argument("--algorithm", default="mmsim", choices=sorted(ALGORITHMS))
+    p.add_argument("--lam", type=float, default=None)
+    p.add_argument("--output", default=None)
+    p.add_argument("--svg", default=None)
+    p.set_defaults(func=cmd_legalize)
+
+    p = sub.add_parser("check", help="check legality of a design file")
+    p.add_argument("input")
+    p.add_argument("--max-messages", type=int, default=10)
+    p.add_argument("--full", action="store_true",
+                   help="print the full quality report (metrics + legality)")
+    p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser("bench", help="regenerate one of the paper's experiments")
+    p.add_argument("experiment", choices=["table1", "table2", "sec53"])
+    p.add_argument("--cell-cap", type=int, default=2000)
+    p.add_argument("--seed", type=int, default=2017)
+    p.add_argument("--output", default=None)
+    p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("compare", help="compare legalizers on a benchmark")
+    p.add_argument("benchmark")
+    p.add_argument("--algorithms", default="tetris,chow,chow_imp,wang,mmsim")
+    p.add_argument("--scale", type=float, default=0.02)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_compare)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

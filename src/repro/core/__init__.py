@@ -1,0 +1,50 @@
+"""The paper's contribution: the MMSIM-LCP mixed-cell-height legalizer."""
+
+from repro.core.compaction import compact_rows_and_place, evict_and_place
+from repro.core.rebalance import rebalance_rows
+from repro.core.legalizer import (
+    LegalizationResult,
+    LegalizerConfig,
+    MMSIMLegalizer,
+    legalize,
+    legalize_incremental,
+)
+from repro.core.qp_builder import (
+    LegalizationQP,
+    build_constraints,
+    build_legalization_qp,
+)
+from repro.core.row_assign import RowAssignment, assign_rows
+from repro.core.splitting import (
+    LegalizationSplitting,
+    SplittingParameters,
+    schur_tridiagonal,
+    woodbury_h_inverse,
+)
+from repro.core.subcells import SubcellModel, restore_cells, split_cells
+from repro.core.tetris_fix import TetrisFixStats, tetris_allocate
+
+__all__ = [
+    "compact_rows_and_place",
+    "evict_and_place",
+    "rebalance_rows",
+    "MMSIMLegalizer",
+    "LegalizerConfig",
+    "LegalizationResult",
+    "legalize",
+    "legalize_incremental",
+    "assign_rows",
+    "RowAssignment",
+    "split_cells",
+    "restore_cells",
+    "SubcellModel",
+    "build_legalization_qp",
+    "build_constraints",
+    "LegalizationQP",
+    "LegalizationSplitting",
+    "SplittingParameters",
+    "woodbury_h_inverse",
+    "schur_tridiagonal",
+    "tetris_allocate",
+    "TetrisFixStats",
+]

@@ -1,0 +1,323 @@
+"""Row compaction: the legalizers' last-resort placement.
+
+Greedy legalizers can fragment free space until no contiguous gap fits a
+cell even though plenty of total free width remains.  ``compact_rows_and_
+place`` restores totality: it left-compacts the cells of a candidate row
+span — including multi-row cells whose footprint lies *fully inside* the
+span, which slide as rigid units; fixed cells and multi-row cells sticking
+out of the span stay put as barriers — and places the stranded cell in the
+coalesced free space at the span's right end.
+
+Succeeds whenever a left-packed layout of the span (barriers fixed) leaves
+room for the new cell, i.e. in every case short of genuine capacity
+exhaustion or barrier-induced fragmentation across the whole core.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.geometry import snap_down, snap_nearest, snap_up
+from repro.netlist.cell import CellInstance
+from repro.netlist.design import Design
+from repro.rows.sitemap import SiteMap
+
+
+def compact_rows_and_place(
+    design: Design,
+    site_map: SiteMap,
+    cell: CellInstance,
+    ignore: "Optional[set]" = None,
+) -> bool:
+    """Find a row span for *cell* by compaction; commits moves on success.
+
+    The caller's *site_map* must reflect the current committed placement of
+    every cell except *cell* and the ids in *ignore* (cells the caller has
+    not committed yet — e.g. other still-pending illegal cells, which must
+    not masquerade as barriers at their stale positions); the map is
+    updated in place together with the moved cells' coordinates.
+    """
+    core = design.core
+    ignore = ignore or set()
+    home = core.nearest_correct_row(cell.master, cell.gp_y)
+    max_bottom = core.num_rows - cell.height_rows
+    order = sorted(
+        (r for r in range(max_bottom + 1) if core.rails.row_is_correct(cell.master, r)),
+        key=lambda r: abs(r - home),
+    )
+    for row in order:
+        plan = _plan_compaction(design, cell, row, ignore)
+        if plan is None:
+            continue
+        moves, end = plan
+        _apply(design, site_map, cell, row, moves, end)
+        return True
+    return False
+
+
+def evict_and_place(
+    design: Design,
+    site_map: SiteMap,
+    cell: CellInstance,
+    ignore: Optional[set] = None,
+    max_evictions: int = 12,
+    _frozen: Optional[set] = None,
+    _depth: int = 2,
+) -> bool:
+    """Escalation beyond compaction: relocate singles out of a row span.
+
+    When every rail-correct span of *cell* is over capacity even after
+    compaction (possible for rail-locked even-height cells, whose legal
+    rows are a strict subset), evict the rightmost movable cells touching
+    the span — singles in the span, and multi-row cells that stick out of
+    it and therefore act as unevictable barriers for plain compaction —
+    until the plan fits; place *cell*; then re-place the evicted cells at
+    their nearest free footprints elsewhere.  Bounded by *max_evictions*;
+    returns False when even eviction cannot make room.
+
+    Single-height victims are preferred (they are rail-flexible and easy to
+    rehome); multi-row victims are rehomed with bounded recursion
+    (``_depth``), with ``_frozen`` guarding against eviction cycles.
+    """
+    core = design.core
+    ignore = set(ignore or ())
+    frozen = set(_frozen or ())
+    frozen.add(cell.id)
+    home = core.nearest_correct_row(cell.master, cell.gp_y)
+    max_bottom = core.num_rows - cell.height_rows
+    order = sorted(
+        (r for r in range(max_bottom + 1) if core.rails.row_is_correct(cell.master, r)),
+        key=lambda r: abs(r - home),
+    )
+    for row in order:
+        evicted: List[CellInstance] = []
+        trial_ignore = set(ignore)
+        plan = _plan_compaction(design, cell, row, trial_ignore)
+        while plan is None and len(evicted) < max_evictions:
+            victim = _rightmost_victim(design, cell, row, trial_ignore | frozen)
+            if victim is None:
+                break
+            evicted.append(victim)
+            trial_ignore.add(victim.id)
+            plan = _plan_compaction(design, cell, row, trial_ignore)
+        if plan is None:
+            continue
+        # Commit: release victims, apply the plan, re-place victims.
+        for victim in evicted:
+            site_map.release_cell(
+                victim,
+                victim.row_index,
+                int(round((victim.x - core.xl) / core.site_width)),
+            )
+        moves, end = plan
+        _apply(design, site_map, cell, row, moves, end)
+        ok = True
+        still_out = {v.id for v in evicted}
+        for victim in evicted:
+            still_out.discard(victim.id)
+            victim.x = victim.gp_x
+            victim.row_index = core.nearest_correct_row(victim.master, victim.gp_y)
+            victim.y = core.row_y(victim.row_index)
+            from repro.core.tetris_fix import TetrisFixStats, place_at_nearest_free
+
+            stats = TetrisFixStats(num_cells=1)
+            if place_at_nearest_free(victim, design, site_map, stats):
+                continue
+            if compact_rows_and_place(design, site_map, victim, ignore | still_out):
+                continue
+            if _depth > 0 and evict_and_place(
+                design,
+                site_map,
+                victim,
+                ignore | still_out,
+                max_evictions,
+                _frozen=frozen,
+                _depth=_depth - 1,
+            ):
+                continue
+            victim.row_index = None
+            ok = False
+        if ok:
+            return True
+        # Victims could not be rehomed either: genuinely out of capacity.
+        return False
+    return False
+
+
+def _rightmost_victim(
+    design: Design, cell: CellInstance, row: int, ignore: set
+) -> Optional[CellInstance]:
+    """The best eviction victim whose footprint touches the span.
+
+    Single-height cells are preferred (rail-flexible, trivially rehomed
+    anywhere); among equals the rightmost is chosen since compaction packs
+    leftward.  Multi-row cells — including ones partially outside the span,
+    which plain compaction must treat as immovable barriers — are only
+    picked once no single remains.
+    """
+    span_lo, span_hi = row, row + cell.height_rows
+    best_single: Optional[CellInstance] = None
+    best_multi: Optional[CellInstance] = None
+    for other in design.cells:
+        if other is cell or other.id in ignore or other.fixed:
+            continue
+        if other.row_index is None:
+            continue
+        if other.row_index >= span_hi or other.row_index + other.height_rows <= span_lo:
+            continue
+        if other.height_rows == 1:
+            if best_single is None or other.x > best_single.x:
+                best_single = other
+        elif best_multi is None or other.x > best_multi.x:
+            best_multi = other
+    return best_single or best_multi
+
+
+def _bottom_row(design: Design, cell: CellInstance) -> Optional[int]:
+    if cell.row_index is not None:
+        return cell.row_index
+    if cell.fixed:
+        return design.core.row_of_y(cell.y)
+    return None
+
+
+def _plan_compaction(
+    design: Design, cell: CellInstance, row: int, ignore: set
+) -> Optional[Tuple[List[Tuple[CellInstance, float]], float]]:
+    """Left-compaction plan for the rows ``row .. row+h-1``.
+
+    Returns ``(moves, x)`` where *moves* are (cell, new_x) pairs and *x* is
+    the position for the stranded cell — the best free gap of the
+    compacted span (immovable barriers partition the rows, so the gap is
+    not necessarily at the right end), or None when even full compaction
+    cannot make room.
+    """
+    core = design.core
+    h = cell.height_rows
+    span_lo, span_hi = row, row + h
+
+    items: List[Tuple[float, bool, CellInstance, int]] = []
+    for other in design.cells:
+        if other is cell or other.id in ignore:
+            continue
+        orow = _bottom_row(design, other)
+        if orow is None:
+            continue
+        if orow >= span_hi or orow + other.height_rows <= span_lo:
+            continue
+        movable = (
+            not other.fixed
+            and span_lo <= orow
+            and orow + other.height_rows <= span_hi
+        )
+        items.append((other.x, movable, other, orow))
+    items.sort(key=lambda t: (t[0], t[2].id))
+
+    frontier: Dict[int, float] = {r: core.xl for r in range(span_lo, span_hi)}
+    occupied: Dict[int, List[Tuple[float, float]]] = {
+        r: [] for r in range(span_lo, span_hi)
+    }
+    moves: List[Tuple[CellInstance, float]] = []
+    for x, movable, other, orow in items:
+        rows_of = range(max(orow, span_lo), min(orow + other.height_rows, span_hi))
+        if not movable:
+            # Barrier: the compacted frontier must not have passed it.
+            if any(frontier[r] > x + 1e-9 for r in rows_of):
+                return None
+            for r in rows_of:
+                frontier[r] = max(frontier[r], x + other.width)
+                occupied[r].append((x, x + other.width))
+        else:
+            new_x = max(frontier[r] for r in rows_of)
+            if new_x > x + 1e-9:
+                # A legal input can't require rightward moves; bail out.
+                return None
+            if new_x < x - 1e-9:
+                moves.append((other, new_x))
+            for r in rows_of:
+                frontier[r] = new_x + other.width
+                occupied[r].append((new_x, new_x + other.width))
+
+    x = _best_gap(core, occupied, cell, span_lo, span_hi)
+    if x is None:
+        return None
+    return moves, x
+
+
+def _best_gap(
+    core,
+    occupied: Dict[int, List[Tuple[float, float]]],
+    cell: CellInstance,
+    span_lo: int,
+    span_hi: int,
+) -> Optional[float]:
+    """Site-aligned position nearest cell.gp_x where the compacted span has
+    a free gap of the cell's width in every spanned row."""
+    free: Optional[List[Tuple[float, float]]] = None
+    for r in range(span_lo, span_hi):
+        segs = sorted(occupied[r])
+        row_free: List[Tuple[float, float]] = []
+        cursor = core.xl
+        for lo, hi in segs:
+            if lo > cursor + 1e-12:
+                row_free.append((cursor, lo))
+            cursor = max(cursor, hi)
+        if cursor < core.xh - 1e-12:
+            row_free.append((cursor, core.xh))
+        if free is None:
+            free = row_free
+        else:
+            merged: List[Tuple[float, float]] = []
+            i = j = 0
+            while i < len(free) and j < len(row_free):
+                lo = max(free[i][0], row_free[j][0])
+                hi = min(free[i][1], row_free[j][1])
+                if hi > lo:
+                    merged.append((lo, hi))
+                if free[i][1] < row_free[j][1]:
+                    i += 1
+                else:
+                    j += 1
+            free = merged
+    if free is None:  # zero-height span cannot happen, defensive
+        return None
+    best: Optional[float] = None
+    for lo, hi in free:
+        lo_site = snap_up(lo, core.xl, core.site_width)
+        hi_site = snap_down(hi - cell.width, core.xl, core.site_width)
+        if hi_site < lo_site - 1e-9:
+            continue
+        pos = snap_nearest(cell.gp_x, core.xl, core.site_width)
+        pos = min(max(pos, lo_site), hi_site)
+        if best is None or abs(pos - cell.gp_x) < abs(best - cell.gp_x):
+            best = pos
+    return best
+
+
+def _apply(
+    design: Design,
+    site_map: SiteMap,
+    cell: CellInstance,
+    row: int,
+    moves: List[Tuple[CellInstance, float]],
+    x: float,
+) -> None:
+    core = design.core
+
+    def site_of(x: float) -> int:
+        return int(round((x - core.xl) / core.site_width))
+
+    # Two phases: free every moving footprint, then occupy the new ones —
+    # compaction moves overlap their own old footprints otherwise.
+    for other, _ in moves:
+        site_map.release_cell(other, other.row_index, site_of(other.x))
+    for other, new_x in moves:
+        site_map.occupy_cell(other, other.row_index, site_of(new_x))
+        other.x = new_x
+
+    cell.x = x
+    cell.y = core.row_y(row)
+    cell.row_index = row
+    if cell.master.bottom_rail is not None and not cell.master.is_even_height:
+        cell.flipped = core.rails.needs_flip(cell.master, row)
+    site_map.occupy_cell(cell, row, site_of(x))

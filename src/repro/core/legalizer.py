@@ -1,0 +1,267 @@
+"""The complete mixed-cell-height legalization flow (paper's Figure 4).
+
+:class:`MMSIMLegalizer` chains the five stages:
+
+1. nearest-correct-row alignment       (:mod:`repro.core.row_assign`)
+2. multi-row cell splitting            (:mod:`repro.core.subcells`)
+3. relaxed-QP / KKT-LCP construction   (:mod:`repro.core.qp_builder`)
+4. MMSIM solve with the Eq.(16) splitting
+   (:mod:`repro.lcp.mmsim` + :mod:`repro.core.splitting`)
+5. multi-row restore + Tetris-like allocation
+   (:mod:`repro.core.subcells` + :mod:`repro.core.tetris_fix`)
+
+and reports a :class:`LegalizationResult` carrying every statistic the
+paper's evaluation needs (illegal-cell counts for Table 1, displacement /
+ΔHPWL / runtime for Table 2, iteration counts and optimality residuals for
+Section 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.qp_builder import LegalizationQP, build_legalization_qp
+from repro.core.row_assign import assign_rows
+from repro.core.splitting import LegalizationSplitting, SplittingParameters
+from repro.core.subcells import restore_cells, split_cells
+from repro.core.tetris_fix import TetrisFixStats, tetris_allocate
+from repro.lcp.mmsim import MMSIMOptions, mmsim_solve
+from repro.lcp.problem import split_kkt_solution
+from repro.metrics.displacement import DisplacementStats, displacement_stats
+from repro.metrics.hpwl import WirelengthStats, wirelength_stats
+from repro.netlist.design import Design
+from repro.utils.timer import StageTimer
+
+
+@dataclass
+class LegalizerConfig:
+    """Tunables of the flow; defaults are the paper's Section 5 settings
+    (λ = 1000, β* = θ* = 0.5).
+
+    The default stopping tolerance is loose on purpose: positions are
+    snapped to integer placement sites by the Tetris stage, so iterating
+    the MMSIM below ~1e-3 site widths cannot change the final placement
+    (verified by ``tests/test_legalizer.py::test_tolerance_insensitivity``).
+    Optimality experiments (Section 5.3) pass tighter values explicitly.
+    """
+
+    lam: float = 1000.0
+    beta: float = 0.5
+    theta: float = 0.5
+    gamma: float = 2.0
+    tol: float = 1e-3
+    residual_tol: Optional[float] = 1e-2
+    max_iterations: int = 20000
+    warm_start: bool = True
+    validate_theorem2: bool = False
+    record_history: bool = False
+    #: Extension beyond the paper: shift cells out of over-capacity rows
+    #: before the MMSIM (reduces right-boundary spill on dense designs).
+    balance_rows: bool = False
+    #: Extension beyond the paper: add exact right-boundary rows to B for
+    #: every row whose cells fit (overfull rows keep the relaxation).
+    #: Removes boundary spill at the QP level on mildly pressed designs;
+    #: under heavy right-edge compression the extra rows slow the MMSIM
+    #: markedly (see benchmarks/bench_ablation_boundary.py) — the paper's
+    #: relaxation is the right default.
+    enforce_right_boundary: bool = False
+
+
+@dataclass
+class LegalizationResult:
+    """Everything measured during one legalization run."""
+
+    design_name: str
+    num_cells: int
+    num_variables: int
+    num_constraints: int
+    converged: bool
+    iterations: int
+    lcp_residual: float
+    y_displacement: float
+    max_subcell_mismatch: float
+    mean_subcell_mismatch: float
+    tetris: TetrisFixStats = field(default_factory=TetrisFixStats)
+    displacement: Optional[DisplacementStats] = None
+    wirelength: Optional[WirelengthStats] = None
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    qp_objective: float = 0.0
+    theorem2_ok: Optional[bool] = None
+    residual_history: list = field(default_factory=list)
+
+    @property
+    def runtime(self) -> float:
+        return sum(self.stage_seconds.values())
+
+    @property
+    def num_illegal(self) -> int:
+        return self.tetris.num_illegal
+
+    def summary(self) -> str:
+        disp = (
+            f"{self.displacement.total_manhattan_sites:.0f} sites"
+            if self.displacement
+            else "n/a"
+        )
+        dh = (
+            f"{self.wirelength.delta_hpwl_percent:+.2f}%"
+            if self.wirelength
+            else "n/a"
+        )
+        return (
+            f"{self.design_name}: disp={disp}, ΔHPWL={dh}, "
+            f"illegal={self.num_illegal}/{self.num_cells} "
+            f"({100 * self.tetris.illegal_fraction:.2f}%), "
+            f"mmsim_iters={self.iterations}, runtime={self.runtime:.2f}s"
+        )
+
+
+class MMSIMLegalizer:
+    """Public entry point: ``MMSIMLegalizer().legalize(design)``.
+
+    The design is modified in place (cell ``x, y, flipped, row_index``);
+    global-placement coordinates are preserved in ``gp_x, gp_y`` so metrics
+    and re-runs remain possible.
+    """
+
+    name = "mmsim"
+
+    def __init__(self, config: Optional[LegalizerConfig] = None) -> None:
+        self.config = config or LegalizerConfig()
+
+    # ------------------------------------------------------------------
+    def legalize(self, design: Design) -> LegalizationResult:
+        cfg = self.config
+        timer = StageTimer()
+
+        with timer.stage("row_assign"):
+            assignment = assign_rows(design)
+
+        if cfg.balance_rows:
+            with timer.stage("rebalance"):
+                from repro.core.rebalance import rebalance_rows
+
+                rebalance_rows(design, assignment)
+
+        with timer.stage("split"):
+            model = split_cells(design, assignment)
+
+        with timer.stage("build_qp"):
+            legal_qp = build_legalization_qp(
+                design,
+                model,
+                lam=cfg.lam,
+                enforce_right_boundary=cfg.enforce_right_boundary,
+            )
+            lcp = legal_qp.qp.kkt_lcp()
+
+        with timer.stage("splitting"):
+            splitting = LegalizationSplitting(
+                H=legal_qp.qp.H,
+                B=legal_qp.qp.B,
+                E=legal_qp.E,
+                lam=cfg.lam,
+                params=SplittingParameters(beta=cfg.beta, theta=cfg.theta),
+            )
+
+        theorem2_ok: Optional[bool] = None
+        if cfg.validate_theorem2:
+            with timer.stage("theorem2"):
+                theorem2_ok = splitting.parameters_satisfy_theorem2()
+
+        with timer.stage("mmsim"):
+            s0 = self._warm_start(legal_qp) if cfg.warm_start else None
+            mmsim_result = mmsim_solve(
+                lcp,
+                splitting,
+                MMSIMOptions(
+                    gamma=cfg.gamma,
+                    tol=cfg.tol,
+                    residual_tol=cfg.residual_tol,
+                    max_iterations=cfg.max_iterations,
+                    record_history=cfg.record_history,
+                ),
+                s0=s0,
+            )
+            y, _r = split_kkt_solution(mmsim_result.z, legal_qp.num_variables)
+            x = legal_qp.to_positions(y)
+
+        with timer.stage("restore"):
+            max_mm, mean_mm = restore_cells(design, model, x, legal_qp.x_origin)
+
+        with timer.stage("tetris"):
+            tetris_stats = tetris_allocate(design)
+
+        with timer.stage("metrics"):
+            disp = displacement_stats(design)
+            wl = wirelength_stats(design) if design.nets else None
+
+        return LegalizationResult(
+            design_name=design.name,
+            num_cells=len(design.movable_cells),
+            num_variables=legal_qp.num_variables,
+            num_constraints=legal_qp.num_constraints,
+            converged=mmsim_result.converged,
+            iterations=mmsim_result.iterations,
+            lcp_residual=mmsim_result.residual,
+            y_displacement=assignment.y_displacement,
+            max_subcell_mismatch=max_mm,
+            mean_subcell_mismatch=mean_mm,
+            tetris=tetris_stats,
+            displacement=disp,
+            wirelength=wl,
+            stage_seconds=timer.as_dict(),
+            qp_objective=legal_qp.qp.objective(y),
+            theorem2_ok=theorem2_ok,
+            residual_history=mmsim_result.residual_history,
+        )
+
+    # ------------------------------------------------------------------
+    def _warm_start(self, legal_qp: LegalizationQP) -> np.ndarray:
+        """Warm start s⁰ from the GP targets.
+
+        For s >= 0, z = (|s|+s)/γ = 2s/γ, so s⁰ = γ/2 · [max(x_gp, 0); 0]
+        makes the first modulus iterate start at the GP positions with zero
+        multipliers.
+        """
+        x0 = np.maximum(-legal_qp.qp.p, 0.0)
+        s0 = np.zeros(legal_qp.num_variables + legal_qp.num_constraints)
+        s0[: legal_qp.num_variables] = 0.5 * self.config.gamma * x0
+        return s0
+
+
+def legalize(design: Design, config: Optional[LegalizerConfig] = None) -> LegalizationResult:
+    """Convenience function: run the full MMSIM legalization flow."""
+    return MMSIMLegalizer(config).legalize(design)
+
+
+def legalize_incremental(
+    design: Design,
+    movable_ids,
+    config: Optional[LegalizerConfig] = None,
+) -> LegalizationResult:
+    """ECO-style incremental legalization (extension beyond the paper).
+
+    Re-legalizes only the cells in *movable_ids*; every other movable cell
+    is treated as a fixed obstacle at its current (presumed legal)
+    position — the QP anchors segments around them and the Tetris stage
+    never moves them.  Typical use: a timing or ECO step nudged a handful
+    of cells off-grid, and the rest of the placement must not churn.
+    """
+    movable_ids = set(movable_ids)
+    frozen = [
+        cell
+        for cell in design.movable_cells
+        if cell.id not in movable_ids
+    ]
+    for cell in frozen:
+        cell.fixed = True
+    try:
+        result = MMSIMLegalizer(config).legalize(design)
+    finally:
+        for cell in frozen:
+            cell.fixed = False
+    return result

@@ -1,0 +1,329 @@
+"""Stage 3: assemble the relaxed legalization QP (paper's Problems (6)/(13)).
+
+Variables are the subcell x positions, measured from the core's left edge
+(so the paper's ``x >= 0`` bound is the left boundary constraint).  For
+every chip row the per-row GP-x-ordered sequence of subcells yields one
+non-overlap constraint per adjacent pair:
+
+    x_j − x_l >= w_l        (j immediately right of l)
+
+giving the B matrix with exactly two nonzeros (−1, +1) per row.  Multi-row
+consistency enters through ``H = Q + λ EᵀE`` with Q = I (see
+:mod:`repro.core.subcells` for E).
+
+The right chip boundary is deliberately *not* constrained — that is the
+paper's relaxation, repaired afterwards by the Tetris-like allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.subcells import SubcellModel
+from repro.netlist.design import Design
+from repro.qp.problem import QPProblem
+
+
+@dataclass
+class LegalizationQP:
+    """The relaxed QP plus the bookkeeping needed to interpret its solution.
+
+    Variables are ``y = x − x_origin − lower`` where ``lower[v]`` is the
+    per-variable left-anchor offset (0 without fixed obstacles): the QP's
+    ``y >= 0`` bound then encodes both the chip's left edge and every
+    obstacle's right edge without adding rows to B.
+    """
+
+    qp: QPProblem
+    E: sp.csr_matrix
+    lam: float
+    x_origin: float          # core.xl
+    model: SubcellModel
+    lower: np.ndarray = None  # per-variable lower offsets (len n)
+
+    def to_positions(self, y: np.ndarray) -> np.ndarray:
+        """Map solver variables back to shifted x coordinates."""
+        return y + (self.lower if self.lower is not None else 0.0)
+
+    @property
+    def num_variables(self) -> int:
+        return self.qp.num_variables
+
+    @property
+    def num_constraints(self) -> int:
+        return self.qp.num_constraints
+
+
+def build_constraints(
+    model: SubcellModel,
+    right_boundary: Optional[float] = None,
+    anchors: Optional[Dict[int, List[Tuple[float, float]]]] = None,
+    x_origin: float = 0.0,
+) -> "tuple[sp.csr_matrix, np.ndarray, np.ndarray]":
+    """Build B, b, and per-variable lower offsets from the row sequences.
+
+    One row of B per adjacent pair (l, j) in each chip row:
+    ``−1`` at l, ``+1`` at j, with right-hand side ``w_l``.
+
+    ``anchors`` maps chip rows to sorted, disjoint fixed-obstacle intervals
+    ``(start, end)`` in shifted coordinates.  Obstacles partition each
+    row's sequence into segments.  Rather than adding constraint rows, the
+    segment's left edge becomes a per-variable *lower offset*: with the
+    substitution ``y = x − lower`` the QP's plain ``y >= 0`` bound encodes
+    it, so B keeps the paper's pure two-nonzero structure (this matters —
+    single-entry rows measurably break the MMSIM's contraction; see
+    benchmarks/bench_ablation_boundary.py).  Segment right edges are
+    *relaxed* exactly like the paper's chip edge and repaired by the
+    Tetris stage, which honours obstacles.
+
+    With ``right_boundary`` set, rows whose last segment fits also get the
+    explicit ``−1`` boundary row of the exact-boundary extension.
+    """
+    anchors = anchors or {}
+    rows: List[int] = []
+    cols: List[int] = []
+    data: List[float] = []
+    b_vals: List[float] = []
+    lower = np.zeros(model.num_variables)
+    # Multi-row cells are routed *jointly*: a segment decision made per row
+    # could send a double's two subcells to conflicting segments (different
+    # obstacle layouts in its rows), and the λ tie would then drag whole
+    # clusters toward the conflict.  The joint lower (computed against the
+    # union of the spanned rows' obstacles) steers every subcell into a
+    # consistent position via its effective target.
+    joint_lower = _joint_lowers(model, anchors, x_origin)
+    k = 0
+
+    def emit(coeffs: List[Tuple[int, float]], rhs: float) -> None:
+        nonlocal k
+        for col, val in coeffs:
+            rows.append(k)
+            cols.append(col)
+            data.append(val)
+        b_vals.append(rhs)
+        k += 1
+
+    for row in sorted(model.row_sequence):
+        seq = model.row_sequence[row]
+        if not seq:
+            continue
+        segments = _split_by_anchors(
+            model, seq, anchors.get(row, ()), x_origin, joint_lower
+        )
+        for seg_vars, seg_lo, seg_hi in segments:
+            if not seg_vars:
+                continue
+            for var in seg_vars:
+                lower[var] = max(seg_lo, joint_lower.get(var, 0.0))
+            for left, right in zip(seg_vars, seg_vars[1:]):
+                # General per-variable offsets: y_j + L_j − y_l − L_l ≥ w_l.
+                emit(
+                    [(left, -1.0), (right, 1.0)],
+                    model.width_of(left) + lower[left] - lower[right],
+                )
+            # Interior segment right edges are relaxed like the chip edge
+            # (obstacle-aware Tetris repairs any spill); only the explicit
+            # exact-boundary extension emits a −1 row, on the last segment.
+            if seg_hi is None and right_boundary is not None:
+                total = sum(model.width_of(v) for v in seg_vars)
+                if seg_lo + total <= right_boundary + 1e-9:
+                    last = seg_vars[-1]
+                    emit(
+                        [(last, -1.0)],
+                        model.width_of(last) - (right_boundary - seg_lo),
+                    )
+    B = sp.csr_matrix((data, (rows, cols)), shape=(k, model.num_variables))
+    return B, np.asarray(b_vals, dtype=float), lower
+
+
+def _joint_lowers(
+    model: SubcellModel,
+    anchors: Dict[int, List[Tuple[float, float]]],
+    x_origin: float,
+) -> Dict[int, float]:
+    """Joint left bound per multi-row subcell, against the union of the
+    obstacles of every row the cell spans."""
+    joint: Dict[int, float] = {}
+    if not anchors:
+        return joint
+    for cell_id, vars_of_cell in model.by_cell.items():
+        if len(vars_of_cell) < 2:
+            continue
+        cell = model.subcells[vars_of_cell[0]].cell
+        merged: List[Tuple[float, float]] = []
+        for var in vars_of_cell:
+            merged.extend(anchors.get(model.subcells[var].row, ()))
+        if not merged:
+            continue
+        merged.sort()
+        # Coalesce overlapping intervals from different rows.
+        coalesced: List[Tuple[float, float]] = []
+        for start, end in merged:
+            if coalesced and start <= coalesced[-1][1] + 1e-9:
+                coalesced[-1] = (coalesced[-1][0], max(coalesced[-1][1], end))
+            else:
+                coalesced.append((start, end))
+        target = cell.gp_x - x_origin
+        width = cell.width
+        # First gap between the merged obstacles that both reaches the
+        # target and fits the cell.
+        lo = 0.0
+        chosen = 0.0
+        for start, end in coalesced:
+            gap_hi = start
+            if gap_hi - lo >= width - 1e-9 and target < gap_hi:
+                chosen = lo
+                break
+            lo = max(lo, end)
+        else:
+            chosen = lo
+        for var in vars_of_cell:
+            joint[var] = chosen
+    return joint
+
+
+def _split_by_anchors(
+    model: SubcellModel,
+    seq: List[int],
+    row_anchors,
+    x_origin: float = 0.0,
+    joint_lower: Optional[Dict[int, float]] = None,
+) -> List[Tuple[List[int], float, Optional[float]]]:
+    """Partition a row's variable sequence at the obstacle intervals.
+
+    Returns ``(vars, seg_lo, seg_hi)`` triples where ``seg_hi`` is None for
+    the last (unbounded) segment.  Cells are routed to the segment their
+    *effective* target falls in — the GP target, raised to any joint lower
+    bound a multi-row cell carries from its other rows.
+    """
+    obstacles = sorted(row_anchors)
+    if not obstacles:
+        return [(list(seq), 0.0, None)]
+    bounds: List[Tuple[float, Optional[float]]] = []
+    lo = 0.0
+    for start, end in obstacles:
+        bounds.append((lo, start))
+        lo = end
+    bounds.append((lo, None))
+
+    joint_lower = joint_lower or {}
+    buckets: List[List[int]] = [[] for _ in bounds]
+    for var in seq:
+        target = model.subcells[var].cell.gp_x - x_origin
+        target = max(target, joint_lower.get(var, 0.0))
+        index = len(bounds) - 1
+        for i, (seg_lo, seg_hi) in enumerate(bounds):
+            if seg_hi is None or target < seg_hi:
+                index = i
+                break
+        buckets[index].append(var)
+
+    # Cascade overflow rightward: a bucket holding more total width than
+    # its segment can ever fit would force its tail onto the obstacle (the
+    # relaxed right edge); moving the tail into the next segment preserves
+    # the GP ordering and lets the QP place it legally.
+    for i in range(len(buckets) - 1):
+        seg_lo, seg_hi = bounds[i]
+        if seg_hi is None:
+            continue
+        capacity = seg_hi - seg_lo
+        total = sum(model.width_of(v) for v in buckets[i])
+        while buckets[i] and total > capacity + 1e-9:
+            moved = buckets[i].pop()
+            buckets[i + 1].insert(0, moved)
+            total -= model.width_of(moved)
+    return [
+        (bucket, seg_lo, seg_hi)
+        for bucket, (seg_lo, seg_hi) in zip(buckets, bounds)
+    ]
+
+
+def build_legalization_qp(
+    design: Design,
+    model: SubcellModel,
+    lam: float = 1000.0,
+    enforce_right_boundary: bool = False,
+    respect_fixed: bool = True,
+) -> LegalizationQP:
+    """Assemble the paper's Problem (13) for a split design.
+
+    Notes
+    -----
+    The paper writes the penalty as ``λ xᵀEᵀEx`` next to ``½xᵀQx``; we fold
+    it into a single effective Hessian ``H = Q + λEᵀE`` (equivalent up to a
+    factor-2 rescaling of λ, documented in DESIGN.md).  With Q = I and the
+    star-pattern E this keeps H symmetric positive definite for any λ > 0
+    (Proposition 2).
+    """
+    if lam <= 0:
+        raise ValueError("penalty λ must be positive")
+    n = model.num_variables
+    x_origin = design.core.xl
+    E = model.equality_matrix()
+    right = design.core.width if enforce_right_boundary else None
+    anchors = fixed_cell_anchors(design) if respect_fixed else None
+    B, b, lower = build_constraints(
+        model, right_boundary=right, anchors=anchors, x_origin=x_origin
+    )
+    H = sp.identity(n, format="csr") + lam * (E.T @ E)
+    # Targets are clamped into the variable's segment: a cell whose GP
+    # position lies left of its segment (it was routed past an obstacle)
+    # prefers the segment start — an unclamped negative target would drag
+    # its whole cluster leftward through the quadratic mean.
+    p = np.array(
+        [
+            -max(model.target_of(v, x_origin) - lower[v], 0.0)
+            for v in range(n)
+        ],
+        dtype=float,
+    )
+    qp = QPProblem(H=H, p=p, B=B, b=b)
+    return LegalizationQP(
+        qp=qp, E=E, lam=lam, x_origin=x_origin, model=model, lower=lower
+    )
+
+
+def initial_point(legal_qp: LegalizationQP, from_gp: bool = True) -> np.ndarray:
+    """A warm-start vector for iterative solvers: the (shifted) GP targets.
+
+    The GP targets are generally infeasible (that is why we legalize), but
+    they are an excellent warm start for the MMSIM because the optimum stays
+    close to them.  With ``from_gp=False`` returns zeros.
+    """
+    if not from_gp:
+        return np.zeros(legal_qp.num_variables)
+    return -legal_qp.qp.p.copy()
+
+
+def fixed_cell_anchors(design: Design) -> Dict[int, List[Tuple[float, float]]]:
+    """Obstacle intervals per chip row from the design's fixed cells.
+
+    Intervals are in shifted coordinates (core left edge = 0), sorted and
+    merged per row so :func:`build_constraints` can treat them as segment
+    boundaries.
+    """
+    core = design.core
+    raw: Dict[int, List[Tuple[float, float]]] = {}
+    for cell in design.cells:
+        if not cell.fixed:
+            continue
+        row0 = core.row_of_y(cell.y)
+        lo = cell.x - core.xl
+        hi = lo + cell.width
+        for r in range(row0, min(row0 + cell.height_rows, core.num_rows)):
+            raw.setdefault(r, []).append((lo, hi))
+    anchors: Dict[int, List[Tuple[float, float]]] = {}
+    for row, intervals in raw.items():
+        intervals.sort()
+        merged: List[Tuple[float, float]] = []
+        for lo, hi in intervals:
+            if merged and lo <= merged[-1][1] + 1e-9:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+            else:
+                merged.append((lo, hi))
+        anchors[row] = merged
+    return anchors

@@ -1,0 +1,76 @@
+"""Stage 1 of the flow (Figure 4): align every cell to its nearest correct row.
+
+"Correct" follows Section 3 of the paper:
+
+* for an odd-row-height cell, the nearest row to its GP y position (a
+  vertical flip fixes any rail mismatch, recorded in ``cell.flipped``);
+* for an even-row-height cell, the nearest row whose bottom rail matches the
+  cell's designed bottom-rail type.
+
+Assigning every cell to its nearest correct row minimizes total
+y-displacement independently of x (the y term of Problem (1) separates),
+which is why the relaxation (5) only optimizes x afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.netlist.cell import CellInstance
+from repro.netlist.design import Design
+
+
+@dataclass
+class RowAssignment:
+    """Outcome of nearest-correct-row alignment.
+
+    ``rows[r]`` lists the cells whose *bottom* row is r, sorted by GP x
+    (the paper's fixed cell ordering).  ``occupied[r]`` lists every cell
+    whose body intersects row r, also sorted by GP x — this is the
+    per-row sequence the QP constraints are generated from, where a
+    multi-row cell appears in several rows.
+    """
+
+    rows: Dict[int, List[CellInstance]] = field(default_factory=dict)
+    occupied: Dict[int, List[CellInstance]] = field(default_factory=dict)
+    y_displacement: float = 0.0
+    num_flipped: int = 0
+
+    def cells_in_row(self, row: int) -> List[CellInstance]:
+        return self.occupied.get(row, [])
+
+
+def assign_rows(design: Design) -> RowAssignment:
+    """Assign every movable cell to its nearest correct row (in place).
+
+    Sets ``cell.y`` to the row bottom, ``cell.row_index`` to the bottom row,
+    and ``cell.flipped`` where rail matching required a vertical flip.
+    ``cell.x`` keeps the GP x position — the MMSIM stage optimizes it next.
+    """
+    core = design.core
+    assignment = RowAssignment()
+    for cell in design.movable_cells:
+        row = core.nearest_correct_row(cell.master, cell.gp_y)
+        cell.row_index = row
+        cell.y = core.row_y(row)
+        cell.x = cell.gp_x
+        cell.flipped = (
+            not cell.master.is_even_height
+            and cell.master.bottom_rail is not None
+            and core.rails.needs_flip(cell.master, row)
+        )
+        if cell.flipped:
+            assignment.num_flipped += 1
+        assignment.y_displacement += abs(cell.y - cell.gp_y)
+        assignment.rows.setdefault(row, []).append(cell)
+        for r in range(row, row + cell.height_rows):
+            assignment.occupied.setdefault(r, []).append(cell)
+
+    # The paper's fixed ordering: cells in each row sorted by GP x.
+    # Tie-break on cell id for determinism (equal GP x happens in practice).
+    for row_cells in assignment.rows.values():
+        row_cells.sort(key=lambda c: (c.gp_x, c.id))
+    for row_cells in assignment.occupied.values():
+        row_cells.sort(key=lambda c: (c.gp_x, c.id))
+    return assignment

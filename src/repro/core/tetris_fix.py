@@ -1,0 +1,169 @@
+"""Stage 5: Tetris-like allocation (Section 4 of the paper).
+
+After the MMSIM solve, cells sit at real-valued x positions on correct
+rows.  This stage
+
+1. snaps every cell to its nearest placement site,
+2. scans cells in x order, committing each into a :class:`SiteMap`; a cell
+   that overlaps an already-committed cell, sticks out of the right (or
+   left) core boundary, is marked *illegal* — Table 1 reports exactly these
+   counts ("#I. Cell"),
+3. re-places every illegal cell at the nearest free, rail-correct,
+   site-aligned position (nearest to its MMSIM position, preserving the
+   optimizer's intent).
+
+Because the MMSIM already resolves essentially all overlaps, illegal cells
+are rare (the paper averages 0.03%); this stage's moves are what make the
+final result "near-optimal" rather than optimal on dense designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.netlist.cell import CellInstance
+from repro.netlist.design import Design
+from repro.rows.sitemap import SiteMap
+
+
+@dataclass
+class TetrisFixStats:
+    """Outcome of the allocation stage."""
+
+    num_cells: int = 0
+    num_illegal: int = 0
+    num_unplaced: int = 0
+    fix_displacement: float = 0.0   # Manhattan distance moved while fixing
+    illegal_cell_ids: List[int] = field(default_factory=list)
+
+    @property
+    def illegal_fraction(self) -> float:
+        return self.num_illegal / self.num_cells if self.num_cells else 0.0
+
+
+def tetris_allocate(design: Design) -> TetrisFixStats:
+    """Run the Tetris-like allocation in place; returns fix statistics."""
+    core = design.core
+    site_map = SiteMap(core)
+    stats = TetrisFixStats(num_cells=len(design.movable_cells))
+
+    # Fixed cells are obstacles: block their footprints first.
+    for cell in design.cells:
+        if not cell.fixed:
+            continue
+        row = core.row_of_y(cell.y)
+        site = int(round((cell.x - core.xl) / core.site_width))
+        site_map.occupy_cell(cell, row, site)
+
+    # Pass 1: snap to sites and commit in x order; collect illegal cells.
+    order = sorted(design.movable_cells, key=lambda c: (c.x, c.id))
+    illegal: List[CellInstance] = []
+    for cell in order:
+        if cell.row_index is None:
+            cell.row_index = core.nearest_correct_row(cell.master, cell.y)
+            cell.y = core.row_y(cell.row_index)
+        snapped = core.snap_x(cell.x)
+        site = int(round((snapped - core.xl) / core.site_width))
+        n_sites = site_map.sites_of_width(cell.width)
+        if site_map.footprint_free(cell.row_index, site, n_sites, cell.height_rows):
+            cell.x = snapped
+            site_map.occupy_cell(cell, cell.row_index, site)
+        else:
+            illegal.append(cell)
+
+    stats.num_illegal = len(illegal)
+    stats.illegal_cell_ids = [c.id for c in illegal]
+
+    # Pass 2: nearest-free-site re-placement of illegal cells; when free
+    # space is too fragmented, compact a row span to make room.  Cells not
+    # yet re-placed must not act as phantom barriers during compaction.
+    from repro.core.compaction import compact_rows_and_place, evict_and_place
+
+    pending = {c.id for c in illegal}
+    used_compaction = False
+    for cell in illegal:
+        pending.discard(cell.id)
+        if place_at_nearest_free(cell, design, site_map, stats):
+            continue
+        if compact_rows_and_place(design, site_map, cell, ignore=pending):
+            used_compaction = True
+            continue
+        if evict_and_place(design, site_map, cell, ignore=pending):
+            used_compaction = True
+            continue
+        stats.num_unplaced += 1
+
+    if used_compaction and stats.num_unplaced == 0:
+        # Compaction slams whole row spans flush left — legal but far from
+        # the displacement optimum.  A row-local PlaceRow refinement pulls
+        # everything back toward the GP targets at no legality risk.
+        from repro.baselines.refine import placerow_refine
+
+        placerow_refine(design)
+    return stats
+
+
+def place_at_nearest_free(
+    cell: CellInstance, design: Design, site_map: SiteMap, stats: TetrisFixStats
+) -> bool:
+    """Find and commit the nearest free footprint for an illegal cell.
+
+    Candidate rows are scanned outward from the cell's current row; the scan
+    stops as soon as a row's pure y-distance already exceeds the best total
+    cost found (rows further away can only be worse).
+    """
+    core = design.core
+    master = cell.master
+    home_row = cell.row_index if cell.row_index is not None else core.row_of_y(cell.y)
+    max_bottom = core.num_rows - master.height_rows
+    best: Optional[tuple] = None   # (cost, row, site)
+
+    for row in _rows_by_distance(home_row, max_bottom):
+        if not core.rails.row_is_correct(master, row):
+            continue
+        y_cost = abs(core.row_y(row) - cell.y)
+        if best is not None and y_cost >= best[0]:
+            break
+        site = site_map.nearest_fit_in_row(row, cell.x, cell.width, master.height_rows)
+        if site is None:
+            continue
+        x_cost = abs(site_map.site_to_x(site) - cell.x)
+        cost = x_cost + y_cost
+        if best is None or cost < best[0]:
+            best = (cost, row, site)
+
+    if best is None:
+        return False
+    cost, row, site = best
+    new_x = site_map.site_to_x(site)
+    new_y = core.row_y(row)
+    stats.fix_displacement += abs(new_x - cell.x) + abs(new_y - cell.y)
+    cell.x = new_x
+    cell.y = new_y
+    cell.row_index = row
+    if master.bottom_rail is not None and not master.is_even_height:
+        cell.flipped = core.rails.needs_flip(master, row)
+    site_map.occupy_cell(cell, row, site)
+    return True
+
+
+def _rows_by_distance(center: int, max_bottom: int):
+    """Bottom-row indices 0..max_bottom ordered by |row − center|."""
+    if max_bottom < 0:
+        return
+    center = min(max(center, 0), max_bottom)
+    yield center
+    step = 1
+    while True:
+        lo, hi = center - step, center + step
+        emitted = False
+        if hi <= max_bottom:
+            yield hi
+            emitted = True
+        if lo >= 0:
+            yield lo
+            emitted = True
+        if not emitted:
+            return
+        step += 1

@@ -1,0 +1,6 @@
+"""Detailed placement: legality-preserving HPWL refinement after
+legalization (the third stage of the paper's placement flow)."""
+
+from repro.detailed.mover import DetailedPlacementResult, DetailedPlacer
+
+__all__ = ["DetailedPlacer", "DetailedPlacementResult"]

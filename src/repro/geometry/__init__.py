@@ -1,0 +1,19 @@
+"""Geometric primitives: rectangles, intervals, and site-grid arithmetic."""
+
+from repro.geometry.grid import is_on_grid, snap_down, snap_nearest, snap_up, to_index
+from repro.geometry.interval import Interval, IntervalSet, overlap_length
+from repro.geometry.rect import Rect, euclidean_sq, manhattan
+
+__all__ = [
+    "Rect",
+    "Interval",
+    "IntervalSet",
+    "overlap_length",
+    "manhattan",
+    "euclidean_sq",
+    "snap_down",
+    "snap_up",
+    "snap_nearest",
+    "to_index",
+    "is_on_grid",
+]

@@ -1,0 +1,54 @@
+"""Site-grid arithmetic.
+
+Legal placements put every cell's left edge on a *placement site*: an
+integer multiple of the site width, offset by the row origin.  These helpers
+convert between continuous coordinates and site indices and perform the
+snapping used by the Tetris-like allocation stage.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def snap_down(x: float, origin: float, pitch: float) -> float:
+    """Largest grid point ``origin + k*pitch`` that is <= x."""
+    if pitch <= 0:
+        raise ValueError("pitch must be positive")
+    k = math.floor((x - origin) / pitch + 1e-12)
+    return origin + k * pitch
+
+
+def snap_up(x: float, origin: float, pitch: float) -> float:
+    """Smallest grid point ``origin + k*pitch`` that is >= x."""
+    if pitch <= 0:
+        raise ValueError("pitch must be positive")
+    k = math.ceil((x - origin) / pitch - 1e-12)
+    return origin + k * pitch
+
+
+def snap_nearest(x: float, origin: float, pitch: float) -> float:
+    """Grid point nearest to x (ties round toward -infinity)."""
+    if pitch <= 0:
+        raise ValueError("pitch must be positive")
+    k = math.floor((x - origin) / pitch + 0.5)
+    return origin + k * pitch
+
+
+def to_index(x: float, origin: float, pitch: float, tol: float = 1e-6) -> int:
+    """Site index of an on-grid coordinate; raises when off-grid beyond tol."""
+    if pitch <= 0:
+        raise ValueError("pitch must be positive")
+    k = (x - origin) / pitch
+    ki = round(k)
+    if abs(k - ki) > tol:
+        raise ValueError(f"coordinate {x} is not on grid (origin={origin}, pitch={pitch})")
+    return int(ki)
+
+
+def is_on_grid(x: float, origin: float, pitch: float, tol: float = 1e-6) -> bool:
+    """True when x lies on the grid within *tol* (absolute, in pitch units)."""
+    if pitch <= 0:
+        raise ValueError("pitch must be positive")
+    k = (x - origin) / pitch
+    return abs(k - round(k)) <= tol

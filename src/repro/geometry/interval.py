@@ -1,0 +1,218 @@
+"""1-D half-open interval algebra.
+
+Rows in a standard-cell design are one-dimensional resources: a cell placed
+at ``x`` with width ``w`` occupies the interval ``[x, x + w)``.  Free-space
+tracking, overlap sweeps, and the Tetris-like allocation all reduce to
+interval arithmetic, implemented here once.
+
+:class:`IntervalSet` maintains a sorted list of disjoint free intervals and
+supports occupation, release, and nearest-fit queries.  It is the backbone of
+:class:`repro.rows.SiteMap`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A half-open interval ``[lo, hi)``; empty when ``hi <= lo``."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if self.hi < self.lo:
+            raise ValueError(f"Interval has hi < lo: {self}")
+
+    @property
+    def length(self) -> float:
+        return self.hi - self.lo
+
+    def is_empty(self) -> bool:
+        return self.hi <= self.lo
+
+    def contains(self, x: float) -> bool:
+        return self.lo <= x < self.hi
+
+    def contains_interval(self, other: "Interval") -> bool:
+        return self.lo <= other.lo and other.hi <= self.hi
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Open-interior intersection test: abutting intervals do not overlap."""
+        return self.lo < other.hi and other.lo < self.hi
+
+    def intersect(self, other: "Interval") -> Optional["Interval"]:
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if hi <= lo:
+            return None
+        return Interval(lo, hi)
+
+    def clamp(self, x: float) -> float:
+        """Clamp a scalar into ``[lo, hi]`` (closed for convenience)."""
+        return min(max(x, self.lo), self.hi)
+
+
+def overlap_length(a: Interval, b: Interval) -> float:
+    """Length of the intersection of two intervals (0 when disjoint)."""
+    return max(0.0, min(a.hi, b.hi) - max(a.lo, b.lo))
+
+
+class IntervalSet:
+    """A mutable set of disjoint half-open intervals kept in sorted order.
+
+    Typical use: start with one free interval spanning a row, ``occupy()``
+    ranges as cells are placed, and query ``nearest_fit()`` to find where a
+    cell of a given width can go with least displacement.
+
+    All operations are O(log n + k) where k is the number of intervals
+    touched; the sorted list is keyed by interval low endpoints.
+    """
+
+    def __init__(self, intervals: Iterable[Interval] = ()) -> None:
+        self._los: List[float] = []
+        self._his: List[float] = []
+        for iv in sorted(intervals, key=lambda i: i.lo):
+            if iv.is_empty():
+                continue
+            if self._his and iv.lo < self._his[-1]:
+                raise ValueError("initial intervals overlap")
+            # Merge abutting intervals on construction.
+            if self._his and iv.lo == self._his[-1]:
+                self._his[-1] = iv.hi
+            else:
+                self._los.append(iv.lo)
+                self._his.append(iv.hi)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._los)
+
+    def __iter__(self) -> Iterator[Interval]:
+        for lo, hi in zip(self._los, self._his):
+            yield Interval(lo, hi)
+
+    def intervals(self) -> List[Interval]:
+        """All intervals, sorted by low endpoint."""
+        return list(self)
+
+    def total_length(self) -> float:
+        return sum(hi - lo for lo, hi in zip(self._los, self._his))
+
+    def covers(self, lo: float, hi: float) -> bool:
+        """True when ``[lo, hi)`` lies fully inside a single interval."""
+        if hi <= lo:
+            return True
+        i = bisect.bisect_right(self._los, lo) - 1
+        return i >= 0 and self._his[i] >= hi
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def occupy(self, lo: float, hi: float) -> None:
+        """Remove ``[lo, hi)`` from the set (it must be fully free)."""
+        if hi <= lo:
+            return
+        i = bisect.bisect_right(self._los, lo) - 1
+        if i < 0 or self._his[i] < hi:
+            raise ValueError(f"occupy([{lo}, {hi})) not fully free")
+        ilo, ihi = self._los[i], self._his[i]
+        # Split the containing interval into up to two remainders.
+        del self._los[i]
+        del self._his[i]
+        if hi < ihi:
+            self._los.insert(i, hi)
+            self._his.insert(i, ihi)
+        if ilo < lo:
+            self._los.insert(i, ilo)
+            self._his.insert(i, lo)
+
+    def release(self, lo: float, hi: float) -> None:
+        """Add ``[lo, hi)`` back to the set, merging with neighbours.
+
+        The released range must not overlap any existing free interval
+        (releasing free space twice indicates a bookkeeping bug upstream).
+        """
+        if hi <= lo:
+            return
+        i = bisect.bisect_left(self._los, lo)
+        if i > 0 and self._his[i - 1] > lo:
+            raise ValueError(f"release([{lo}, {hi})) overlaps existing free space")
+        if i < len(self._los) and self._los[i] < hi:
+            raise ValueError(f"release([{lo}, {hi})) overlaps existing free space")
+        # Merge with left neighbour.
+        merge_left = i > 0 and self._his[i - 1] == lo
+        merge_right = i < len(self._los) and self._los[i] == hi
+        if merge_left and merge_right:
+            self._his[i - 1] = self._his[i]
+            del self._los[i]
+            del self._his[i]
+        elif merge_left:
+            self._his[i - 1] = hi
+        elif merge_right:
+            self._los[i] = lo
+        else:
+            self._los.insert(i, lo)
+            self._his.insert(i, hi)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def nearest_fit(self, x: float, width: float) -> Optional[float]:
+        """Least-|shift| left edge for a block of *width* within free space.
+
+        Returns the placement ``lo`` closest to the requested ``x`` such
+        that ``[lo, lo + width)`` is free, or None when nothing fits.
+        """
+        best: Optional[float] = None
+        best_cost = float("inf")
+        i = bisect.bisect_right(self._los, x) - 1
+        # Examine intervals outward from the one containing/near x.
+        candidates = range(len(self._los))
+        # Small sets dominate in practice; a linear scan with early exit on
+        # sorted order is fast and simple.  Scan right then left from i.
+        for j in self._scan_order(i, len(self._los)):
+            lo, hi = self._los[j], self._his[j]
+            if hi - lo < width:
+                continue
+            pos = min(max(x, lo), hi - width)
+            cost = abs(pos - x)
+            if cost < best_cost:
+                best_cost = cost
+                best = pos
+            # Early exit: intervals further right start further away.
+            if lo > x and lo - x > best_cost:
+                break
+        _ = candidates
+        return best
+
+    @staticmethod
+    def _scan_order(center: int, n: int) -> Iterator[int]:
+        """Indices ordered by distance from *center* (center first)."""
+        if n == 0:
+            return
+        if center < 0:
+            center = 0
+        if center >= n:
+            center = n - 1
+        yield center
+        step = 1
+        while True:
+            left = center - step
+            right = center + step
+            emitted = False
+            if right < n:
+                yield right
+                emitted = True
+            if left >= 0:
+                yield left
+                emitted = True
+            if not emitted:
+                return
+            step += 1

@@ -1,0 +1,158 @@
+"""Axis-aligned rectangle primitives used throughout the placement database.
+
+All placement geometry in this package is expressed in *database units*
+(integer-friendly floats).  A :class:`Rect` is half-open in both axes:
+the point ``(xh, y)`` is *not* inside ``Rect(xl, yl, xh, yh)``.  Half-open
+semantics make abutting cells non-overlapping, which is exactly the
+legalization notion of "no overlap".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Rect:
+    """A half-open, axis-aligned rectangle ``[xl, xh) x [yl, yh)``.
+
+    Degenerate (zero-area) rectangles are allowed; they overlap nothing.
+    """
+
+    xl: float
+    yl: float
+    xh: float
+    yh: float
+
+    def __post_init__(self) -> None:
+        if self.xh < self.xl:
+            raise ValueError(f"Rect has xh < xl: {self}")
+        if self.yh < self.yl:
+            raise ValueError(f"Rect has yh < yl: {self}")
+
+    # ------------------------------------------------------------------
+    # Basic measures
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> float:
+        return self.xh - self.xl
+
+    @property
+    def height(self) -> float:
+        return self.yh - self.yl
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return (0.5 * (self.xl + self.xh), 0.5 * (self.yl + self.yh))
+
+    def is_degenerate(self) -> bool:
+        """True when the rectangle has zero area."""
+        return self.width == 0.0 or self.height == 0.0
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def contains_point(self, x: float, y: float) -> bool:
+        """Half-open containment test for a point."""
+        return self.xl <= x < self.xh and self.yl <= y < self.yh
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True when *other* lies fully inside (or on the boundary of) self."""
+        return (
+            self.xl <= other.xl
+            and self.yl <= other.yl
+            and other.xh <= self.xh
+            and other.yh <= self.yh
+        )
+
+    def overlaps(self, other: "Rect") -> bool:
+        """True when the *open* interiors intersect.
+
+        Abutting rectangles do not overlap, and degenerate (zero-area)
+        rectangles have empty interiors so they never overlap anything —
+        consistent with ``overlap_area() > 0``.
+        """
+        return (
+            min(self.xh, other.xh) > max(self.xl, other.xl)
+            and min(self.yh, other.yh) > max(self.yl, other.yl)
+        )
+
+    def overlap_area(self, other: "Rect") -> float:
+        """Area of the intersection; 0 when the rectangles do not overlap."""
+        w = min(self.xh, other.xh) - max(self.xl, other.xl)
+        h = min(self.yh, other.yh) - max(self.yl, other.yl)
+        if w <= 0.0 or h <= 0.0:
+            return 0.0
+        return w * h
+
+    # ------------------------------------------------------------------
+    # Constructions
+    # ------------------------------------------------------------------
+    def intersection(self, other: "Rect") -> Optional["Rect"]:
+        """Intersection rectangle, or None when the interiors are disjoint."""
+        xl = max(self.xl, other.xl)
+        yl = max(self.yl, other.yl)
+        xh = min(self.xh, other.xh)
+        yh = min(self.yh, other.yh)
+        if xh <= xl or yh <= yl:
+            return None
+        return Rect(xl, yl, xh, yh)
+
+    def union_bbox(self, other: "Rect") -> "Rect":
+        """Bounding box of the two rectangles."""
+        return Rect(
+            min(self.xl, other.xl),
+            min(self.yl, other.yl),
+            max(self.xh, other.xh),
+            max(self.yh, other.yh),
+        )
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        """A copy shifted by ``(dx, dy)``."""
+        return Rect(self.xl + dx, self.yl + dy, self.xh + dx, self.yh + dy)
+
+    def inflated(self, margin: float) -> "Rect":
+        """A copy grown by *margin* on every side (may raise if too negative)."""
+        return Rect(
+            self.xl - margin, self.yl - margin, self.xh + margin, self.yh + margin
+        )
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    def distance_to_point(self, x: float, y: float) -> float:
+        """Euclidean distance from the rectangle to a point (0 when inside)."""
+        dx = max(self.xl - x, 0.0, x - self.xh)
+        dy = max(self.yl - y, 0.0, y - self.yh)
+        return math.hypot(dx, dy)
+
+    @staticmethod
+    def bounding(rects: Iterable["Rect"]) -> "Rect":
+        """Bounding box of a non-empty iterable of rectangles."""
+        it: Iterator[Rect] = iter(rects)
+        try:
+            first = next(it)
+        except StopIteration:
+            raise ValueError("Rect.bounding() needs at least one rectangle")
+        box = first
+        for r in it:
+            box = box.union_bbox(r)
+        return box
+
+
+def manhattan(x0: float, y0: float, x1: float, y1: float) -> float:
+    """Manhattan distance between two points."""
+    return abs(x1 - x0) + abs(y1 - y0)
+
+
+def euclidean_sq(x0: float, y0: float, x1: float, y1: float) -> float:
+    """Squared Euclidean distance (the paper's displacement objective)."""
+    dx = x1 - x0
+    dy = y1 - y0
+    return dx * dx + dy * dy

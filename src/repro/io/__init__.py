@@ -1,0 +1,23 @@
+"""Design I/O: Bookshelf (ISPD-style) and native JSON."""
+
+from repro.io.bookshelf.reader import read_design
+from repro.io.deflite import export_lefdef, write_def, write_lef
+from repro.io.bookshelf.writer import write_design
+from repro.io.jsonio import (
+    design_from_dict,
+    design_to_dict,
+    load_design,
+    save_design,
+)
+
+__all__ = [
+    "read_design",
+    "write_design",
+    "write_lef",
+    "write_def",
+    "export_lefdef",
+    "save_design",
+    "load_design",
+    "design_to_dict",
+    "design_from_dict",
+]

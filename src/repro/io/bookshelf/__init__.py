@@ -1,0 +1,6 @@
+"""Bookshelf placement-format reader/writer (with the .rails extension)."""
+
+from repro.io.bookshelf.reader import read_design
+from repro.io.bookshelf.writer import write_design
+
+__all__ = ["read_design", "write_design"]

@@ -1,0 +1,107 @@
+"""Bookshelf writer: serialize a :class:`~repro.netlist.Design` to disk.
+
+``write_design(design, directory, basename)`` emits the full suite
+(``.aux .nodes .pl .scl .nets .rails``).  Positions written to ``.pl`` are
+the cells' *current* coordinates; to persist the global placement use
+``use_gp=True`` (the paper's benchmarks ship GP coordinates, legalizers
+write legalized ones next to them).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TextIO
+
+from repro.io.bookshelf.format import AUX_KEY, write_header
+from repro.netlist.design import Design
+
+
+def write_design(
+    design: Design, directory: str, basename: str = None, use_gp: bool = False
+) -> str:
+    """Write all Bookshelf files; returns the ``.aux`` path."""
+    basename = basename or design.name
+    os.makedirs(directory, exist_ok=True)
+
+    def path(ext: str) -> str:
+        return os.path.join(directory, f"{basename}.{ext}")
+
+    _write_nodes(design, path("nodes"))
+    _write_pl(design, path("pl"), use_gp=use_gp)
+    _write_scl(design, path("scl"))
+    _write_nets(design, path("nets"))
+    _write_rails(design, path("rails"))
+
+    aux_path = path("aux")
+    with open(aux_path, "w") as fh:
+        fh.write(
+            f"{AUX_KEY} : {basename}.nodes {basename}.nets "
+            f"{basename}.pl {basename}.scl {basename}.rails\n"
+        )
+    return aux_path
+
+
+def _write_nodes(design: Design, path: str) -> None:
+    terminals = [c for c in design.cells if c.fixed]
+    with open(path, "w") as fh:
+        write_header(fh, "nodes")
+        fh.write(f"NumNodes : {design.num_cells}\n")
+        fh.write(f"NumTerminals : {len(terminals)}\n")
+        row_h = design.core.row_height
+        for cell in design.cells:
+            height = cell.height_rows * row_h
+            terminal = " terminal" if cell.fixed else ""
+            fh.write(f"\t{cell.name}\t{cell.width:g}\t{height:g}{terminal}\n")
+
+
+def _write_pl(design: Design, path: str, use_gp: bool) -> None:
+    with open(path, "w") as fh:
+        write_header(fh, "pl")
+        for cell in design.cells:
+            x = cell.gp_x if use_gp else cell.x
+            y = cell.gp_y if use_gp else cell.y
+            orient = "FS" if cell.flipped else "N"
+            fixed = " /FIXED" if cell.fixed else ""
+            fh.write(f"{cell.name}\t{x:.6f}\t{y:.6f}\t: {orient}{fixed}\n")
+
+
+def _write_scl(design: Design, path: str) -> None:
+    core = design.core
+    with open(path, "w") as fh:
+        write_header(fh, "scl")
+        fh.write(f"NumRows : {core.num_rows}\n\n")
+        for r in range(core.num_rows):
+            fh.write("CoreRow Horizontal\n")
+            fh.write(f"  Coordinate    : {core.row_y(r):g}\n")
+            fh.write(f"  Height        : {core.row_height:g}\n")
+            fh.write(f"  Sitewidth     : {core.site_width:g}\n")
+            fh.write(f"  Sitespacing   : {core.site_width:g}\n")
+            fh.write("  Siteorient    : 1\n")
+            fh.write("  Sitesymmetry  : 1\n")
+            fh.write(f"  SubrowOrigin  : {core.xl:g}  NumSites : {core.num_sites}\n")
+            fh.write("End\n")
+
+
+def _write_nets(design: Design, path: str) -> None:
+    num_pins = sum(net.degree() for net in design.nets)
+    with open(path, "w") as fh:
+        write_header(fh, "nets")
+        fh.write(f"NumNets : {len(design.nets)}\n")
+        fh.write(f"NumPins : {num_pins}\n\n")
+        for net in design.nets:
+            fh.write(f"NetDegree : {net.degree()} {net.name}\n")
+            for pin in net.pins:
+                owner = pin.cell.name if pin.cell is not None else "FIXED"
+                fh.write(
+                    f"\t{owner} B : {pin.offset_x:.6f} {pin.offset_y:.6f}\n"
+                )
+
+
+def _write_rails(design: Design, path: str) -> None:
+    """Extension file: bottom-rail types of rail-constrained masters."""
+    with open(path, "w") as fh:
+        write_header(fh, "rails")
+        fh.write(f"Row0BottomRail : {design.core.rails.bottom_rail_of_row_0.value}\n")
+        for cell in design.cells:
+            if cell.master.bottom_rail is not None:
+                fh.write(f"{cell.name} {cell.master.bottom_rail.value}\n")

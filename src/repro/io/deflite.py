@@ -1,0 +1,105 @@
+"""Minimal LEF/DEF export (write-only interop).
+
+Downstream physical-design tools (OpenROAD, commercial P&R) speak LEF/DEF
+rather than Bookshelf.  ``write_lef`` emits the technology/macro side of a
+design (one SITE, one MACRO per :class:`CellMaster`) and ``write_def`` the
+placed netlist side (DIEAREA, ROW statements with alternating orientation,
+COMPONENTS with PLACED/FIXED attributes, and the netlist as DEF NETS).
+
+This is deliberately a *lite* dialect: enough for a legalized placement to
+be loaded and inspected elsewhere, not a full LEF/DEF implementation
+(no routing layers, no pins geometry beyond cell origins, no groups).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TextIO
+
+from repro.netlist.design import Design
+
+#: DEF distance units per database unit.
+DEFAULT_DBU = 1000
+
+
+def write_lef(design: Design, path: str, site_name: str = "coresite") -> str:
+    """Write a technology+macros LEF file for the design's library."""
+    core = design.core
+    with open(path, "w") as fh:
+        fh.write("VERSION 5.8 ;\nBUSBITCHARS \"[]\" ;\nDIVIDERCHAR \"/\" ;\n\n")
+        fh.write(f"SITE {site_name}\n")
+        fh.write("  CLASS CORE ;\n")
+        fh.write(f"  SIZE {core.site_width:g} BY {core.row_height:g} ;\n")
+        fh.write("  SYMMETRY Y ;\n")
+        fh.write(f"END {site_name}\n\n")
+        for master in design.masters.values():
+            height = master.height_rows * core.row_height
+            fh.write(f"MACRO {master.name}\n")
+            fh.write("  CLASS CORE ;\n")
+            fh.write("  ORIGIN 0 0 ;\n")
+            fh.write(f"  SIZE {master.width:g} BY {height:g} ;\n")
+            symmetry = "X Y" if not master.is_even_height else "Y"
+            fh.write(f"  SYMMETRY {symmetry} ;\n")
+            fh.write(f"  SITE {site_name} ;\n")
+            fh.write(f"END {master.name}\n\n")
+        fh.write("END LIBRARY\n")
+    return path
+
+
+def write_def(
+    design: Design,
+    path: str,
+    dbu: int = DEFAULT_DBU,
+    site_name: str = "coresite",
+    include_nets: bool = True,
+) -> str:
+    """Write a placed DEF file; positions use the cells' current x/y."""
+    core = design.core
+
+    def dist(value: float) -> int:
+        return int(round(value * dbu))
+
+    with open(path, "w") as fh:
+        fh.write("VERSION 5.8 ;\nDIVIDERCHAR \"/\" ;\nBUSBITCHARS \"[]\" ;\n")
+        fh.write(f"DESIGN {design.name} ;\n")
+        fh.write(f"UNITS DISTANCE MICRONS {dbu} ;\n\n")
+        fh.write(
+            f"DIEAREA ( {dist(core.xl)} {dist(core.yl)} ) "
+            f"( {dist(core.xh)} {dist(core.yh)} ) ;\n\n"
+        )
+        for r in range(core.num_rows):
+            orient = "N" if core.rails.bottom_rail(r) is core.rails.bottom_rail_of_row_0 else "FS"
+            fh.write(
+                f"ROW row_{r} {site_name} {dist(core.xl)} {dist(core.row_y(r))} "
+                f"{orient} DO {core.num_sites} BY 1 STEP {dist(core.site_width)} 0 ;\n"
+            )
+        fh.write(f"\nCOMPONENTS {design.num_cells} ;\n")
+        for cell in design.cells:
+            status = "FIXED" if cell.fixed else "PLACED"
+            orient = "FS" if cell.flipped else "N"
+            fh.write(
+                f"  - {cell.name} {cell.master.name} + {status} "
+                f"( {dist(cell.x)} {dist(cell.y)} ) {orient} ;\n"
+            )
+        fh.write("END COMPONENTS\n")
+        if include_nets and design.nets:
+            fh.write(f"\nNETS {len(design.nets)} ;\n")
+            for net in design.nets:
+                terms = " ".join(
+                    f"( {pin.cell.name} p{idx} )" if pin.cell is not None
+                    else f"( PIN io{idx} )"
+                    for idx, pin in enumerate(net.pins)
+                )
+                fh.write(f"  - {net.name} {terms} ;\n")
+            fh.write("END NETS\n")
+        fh.write("\nEND DESIGN\n")
+    return path
+
+
+def export_lefdef(
+    design: Design,
+    lef_path: str,
+    def_path: str,
+    dbu: int = DEFAULT_DBU,
+) -> "tuple[str, str]":
+    """Write the LEF/DEF pair; returns both paths."""
+    return write_lef(design, lef_path), write_def(design, def_path, dbu=dbu)

@@ -1,0 +1,33 @@
+"""Linear complementarity problems and solvers (MMSIM, PSOR, fixed-point)."""
+
+from repro.lcp.fixed_point import FixedPointOptions, fixed_point_solve
+from repro.lcp.lemke import LemkeOptions, lemke_solve
+from repro.lcp.mmsim import MMSIMOptions, Splitting, mmsim_solve
+from repro.lcp.problem import LCP, LCPResult, make_kkt_lcp, split_kkt_solution
+from repro.lcp.psor import PSOROptions, psor_solve
+from repro.lcp.splittings import (
+    ExactSplitting,
+    GaussSeidelSplitting,
+    JacobiSplitting,
+    SORSplitting,
+)
+
+__all__ = [
+    "LCP",
+    "LCPResult",
+    "make_kkt_lcp",
+    "split_kkt_solution",
+    "mmsim_solve",
+    "lemke_solve",
+    "LemkeOptions",
+    "MMSIMOptions",
+    "Splitting",
+    "psor_solve",
+    "PSOROptions",
+    "fixed_point_solve",
+    "FixedPointOptions",
+    "JacobiSplitting",
+    "GaussSeidelSplitting",
+    "SORSplitting",
+    "ExactSplitting",
+]

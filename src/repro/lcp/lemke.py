@@ -1,0 +1,135 @@
+"""Lemke's complementary pivoting algorithm for LCPs.
+
+A classical *exact, finite* LCP solver (Lemke, 1965), included as an
+independent oracle for the iterative methods: unlike PSOR or the projected
+fixed point it needs no positive diagonal, so it applies *directly* to the
+paper's KKT LCP — whose matrix ``A = [[H, −Bᵀ], [B, 0]]`` is positive
+semidefinite (``zᵀAz = z₁ᵀHz₁ ≥ 0``) and therefore copositive-plus, the
+class Lemke provably processes: it terminates either at a solution or on a
+secondary ray proving infeasibility.
+
+Dense tableau implementation, O(n²) per pivot: intended for tests and
+small/medium instances, not the production path (that is the MMSIM's job).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.lcp.problem import LCP, LCPResult
+
+
+@dataclass
+class LemkeOptions:
+    max_pivots: int = 10000
+    tol: float = 1e-9
+
+
+def lemke_solve(lcp: LCP, options: Optional[LemkeOptions] = None) -> LCPResult:
+    """Solve an LCP by Lemke's method with the all-ones covering vector.
+
+    Returns a converged :class:`LCPResult` on success; ``converged=False``
+    with a message on ray termination (no solution found along the path)
+    or pivot-limit exhaustion.
+    """
+    opts = options or LemkeOptions()
+    A = lcp.A.toarray() if sp.issparse(lcp.A) else np.asarray(lcp.A, dtype=float)
+    q = lcp.q.copy()
+    n = lcp.n
+
+    if n == 0 or np.all(q >= -opts.tol):
+        return LCPResult(
+            z=np.zeros(n), converged=True, iterations=0,
+            residual=lcp.natural_residual(np.zeros(n)), solver="lemke",
+        )
+
+    # Tableau: columns [w (I) | z (−A) | z0 (−d)], rows = w basis initially.
+    # We keep the standard dictionary  w − A z − d z0 = q  and pivot.
+    tol = opts.tol
+    tableau = np.hstack([np.eye(n), -A, -np.ones((n, 1)), q.reshape(-1, 1)])
+    # basis[i] = index of the basic variable of row i:
+    #   0..n-1 -> w_i,  n..2n-1 -> z_{i-n},  2n -> z0
+    basis = list(range(n))
+
+    # Initial pivot: z0 enters, the most negative q row leaves.
+    row = int(np.argmin(q))
+    entering = 2 * n  # z0
+    leaving = basis[row]
+    _pivot(tableau, row, entering)
+    basis[row] = entering
+    # Complement of the variable that just left becomes the next entering.
+    entering = _complement(leaving, n)
+
+    for iteration in range(1, opts.max_pivots + 1):
+        col = tableau[:, entering]
+        rhs = tableau[:, -1]
+        # Minimum ratio test over rows with positive pivot column entries.
+        candidates = [
+            (rhs[i] / col[i], i) for i in range(n) if col[i] > tol
+        ]
+        if not candidates:
+            return LCPResult(
+                z=_extract_z(tableau, basis, n),
+                converged=False,
+                iterations=iteration,
+                residual=lcp.natural_residual(_extract_z(tableau, basis, n)),
+                solver="lemke",
+                message="ray termination (no solution on the Lemke path)",
+            )
+        # Lexicographic-ish tie-break: prefer kicking z0 out when possible.
+        ratio = min(c[0] for c in candidates)
+        tied = [i for r, i in candidates if r <= ratio + tol]
+        row = next((i for i in tied if basis[i] == 2 * n), tied[0])
+
+        leaving = basis[row]
+        _pivot(tableau, row, entering)
+        basis[row] = entering
+
+        if leaving == 2 * n:  # z0 left the basis: solution found.
+            z = _extract_z(tableau, basis, n)
+            return LCPResult(
+                z=z,
+                converged=True,
+                iterations=iteration,
+                residual=lcp.natural_residual(z),
+                solver="lemke",
+            )
+        entering = _complement(leaving, n)
+
+    z = _extract_z(tableau, basis, n)
+    return LCPResult(
+        z=z,
+        converged=False,
+        iterations=opts.max_pivots,
+        residual=lcp.natural_residual(z),
+        solver="lemke",
+        message="pivot limit reached",
+    )
+
+
+def _complement(var: int, n: int) -> int:
+    """w_i <-> z_i complementarity (z0 has no complement)."""
+    if var < n:
+        return var + n
+    return var - n
+
+
+def _pivot(tableau: np.ndarray, row: int, col: int) -> None:
+    """Gauss-Jordan pivot on (row, col)."""
+    tableau[row, :] /= tableau[row, col]
+    for i in range(tableau.shape[0]):
+        if i != row and tableau[i, col] != 0.0:
+            tableau[i, :] -= tableau[i, col] * tableau[row, :]
+
+
+def _extract_z(tableau: np.ndarray, basis: list, n: int) -> np.ndarray:
+    z = np.zeros(n)
+    rhs = tableau[:, -1]
+    for i, var in enumerate(basis):
+        if n <= var < 2 * n:
+            z[var - n] = max(rhs[i], 0.0)
+    return z

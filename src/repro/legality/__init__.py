@@ -1,0 +1,12 @@
+"""Independent legality checking for placements."""
+
+from repro.legality.checker import assert_legal, check_legality
+from repro.legality.violations import LegalityReport, Violation, ViolationKind
+
+__all__ = [
+    "check_legality",
+    "assert_legal",
+    "LegalityReport",
+    "Violation",
+    "ViolationKind",
+]

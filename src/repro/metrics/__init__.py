@@ -1,0 +1,27 @@
+"""Placement quality metrics: displacement, HPWL, density."""
+
+from repro.metrics.density import density_map, global_density, row_utilizations
+from repro.metrics.displacement import (
+    DisplacementStats,
+    displacement_stats,
+    per_cell_displacements,
+    quadratic_objective,
+)
+from repro.metrics.hpwl import WirelengthStats, gp_hpwl, total_hpwl, wirelength_stats
+from repro.metrics.report import QualityReport, quality_report
+
+__all__ = [
+    "DisplacementStats",
+    "displacement_stats",
+    "per_cell_displacements",
+    "quadratic_objective",
+    "WirelengthStats",
+    "wirelength_stats",
+    "quality_report",
+    "QualityReport",
+    "total_hpwl",
+    "gp_hpwl",
+    "global_density",
+    "density_map",
+    "row_utilizations",
+]

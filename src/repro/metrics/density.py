@@ -1,0 +1,61 @@
+"""Density utilities.
+
+Table 1 characterizes each benchmark by its placement density (movable cell
+area over core area).  For diagnostics we also provide a binned density map,
+which the benchmark generator uses to verify that synthetic instances hit
+their target density profile.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.netlist.design import Design
+
+
+def global_density(design: Design) -> float:
+    """Movable cell area divided by core area."""
+    return design.density()
+
+
+def density_map(design: Design, bins_x: int = 16, bins_y: int = 16) -> np.ndarray:
+    """Cell-area density per bin, evaluated at current positions.
+
+    Returns a ``(bins_y, bins_x)`` array whose entries are the fraction of
+    each bin's area covered by cells (can exceed 1 before legalization).
+    """
+    core = design.core
+    grid = np.zeros((bins_y, bins_x), dtype=float)
+    bw = core.width / bins_x
+    bh = core.height / bins_y
+    for cell in design.movable_cells:
+        xl = cell.x
+        xh = cell.x + cell.width
+        yl = cell.y
+        yh = cell.y + cell.height(core.row_height)
+        ix_lo = int(np.clip((xl - core.xl) // bw, 0, bins_x - 1))
+        ix_hi = int(np.clip((xh - core.xl) // bw, 0, bins_x - 1))
+        iy_lo = int(np.clip((yl - core.yl) // bh, 0, bins_y - 1))
+        iy_hi = int(np.clip((yh - core.yl) // bh, 0, bins_y - 1))
+        for iy in range(iy_lo, iy_hi + 1):
+            by_lo = core.yl + iy * bh
+            oy = max(0.0, min(yh, by_lo + bh) - max(yl, by_lo))
+            for ix in range(ix_lo, ix_hi + 1):
+                bx_lo = core.xl + ix * bw
+                ox = max(0.0, min(xh, bx_lo + bw) - max(xl, bx_lo))
+                grid[iy, ix] += ox * oy
+    grid /= bw * bh
+    return grid
+
+
+def row_utilizations(design: Design) -> List[float]:
+    """Occupied width fraction of every row at current positions."""
+    core = design.core
+    used = [0.0] * core.num_rows
+    for cell in design.movable_cells:
+        row_lo = max(0, int(round((cell.y - core.yl) / core.row_height)))
+        for r in range(row_lo, min(row_lo + cell.height_rows, core.num_rows)):
+            used[r] += cell.width
+    return [u / core.width for u in used]

@@ -1,0 +1,52 @@
+"""Wirelength metrics: HPWL and the paper's ΔHPWL.
+
+Table 2 reports "ΔHPWL": the relative HPWL increase of the legalized
+placement over the global placement, e.g. 0.51% for fft_2.  We compute it as
+``(HPWL_legal − HPWL_gp) / HPWL_gp``; a good legalizer keeps it tiny because
+it moves cells little and coherently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netlist.design import Design
+
+
+@dataclass(frozen=True)
+class WirelengthStats:
+    """HPWL before/after legalization."""
+
+    gp_hpwl: float
+    legal_hpwl: float
+
+    @property
+    def delta_hpwl(self) -> float:
+        """Relative HPWL increase (the paper's ΔHPWL, as a fraction)."""
+        if self.gp_hpwl == 0.0:
+            return 0.0
+        return (self.legal_hpwl - self.gp_hpwl) / self.gp_hpwl
+
+    @property
+    def delta_hpwl_percent(self) -> float:
+        return 100.0 * self.delta_hpwl
+
+    def __str__(self) -> str:
+        return (
+            f"hpwl(gp={self.gp_hpwl:.4g}, legal={self.legal_hpwl:.4g}, "
+            f"Δ={self.delta_hpwl_percent:+.2f}%)"
+        )
+
+
+def total_hpwl(design: Design) -> float:
+    """HPWL of all nets at the current cell positions."""
+    return sum(net.hpwl() for net in design.nets)
+
+
+def gp_hpwl(design: Design) -> float:
+    """HPWL of all nets at the global-placement positions."""
+    return sum(net.gp_hpwl() for net in design.nets)
+
+
+def wirelength_stats(design: Design) -> WirelengthStats:
+    return WirelengthStats(gp_hpwl=gp_hpwl(design), legal_hpwl=total_hpwl(design))

@@ -1,0 +1,91 @@
+"""Consolidated placement quality report.
+
+One call — :func:`quality_report` — gathers everything a flow script or a
+sign-off check wants to know about a placement: legality (via the
+independent checker), displacement statistics, wirelength, density and
+row-utilization spread.  Rendered by ``format()`` for humans and exposed as
+a dict for machines (the CLI's ``check --full`` uses both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.legality.checker import check_legality
+from repro.legality.violations import LegalityReport
+from repro.metrics.density import global_density, row_utilizations
+from repro.metrics.displacement import DisplacementStats, displacement_stats
+from repro.metrics.hpwl import WirelengthStats, wirelength_stats
+from repro.netlist.design import Design
+
+
+@dataclass
+class QualityReport:
+    """Everything measured by :func:`quality_report`."""
+
+    design_name: str
+    num_cells: int
+    legality: LegalityReport
+    displacement: DisplacementStats
+    wirelength: Optional[WirelengthStats]
+    density: float
+    max_row_utilization: float
+    mean_row_utilization: float
+
+    @property
+    def is_legal(self) -> bool:
+        return self.legality.is_legal
+
+    def as_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "design": self.design_name,
+            "num_cells": self.num_cells,
+            "legal": self.is_legal,
+            "num_violations": len(self.legality.violations),
+            "disp_total_sites": self.displacement.total_manhattan_sites,
+            "disp_max": self.displacement.max_manhattan,
+            "disp_mean": self.displacement.mean_manhattan,
+            "disp_quadratic": self.displacement.total_quadratic,
+            "density": self.density,
+            "row_util_max": self.max_row_utilization,
+            "row_util_mean": self.mean_row_utilization,
+        }
+        if self.wirelength is not None:
+            data["hpwl"] = self.wirelength.legal_hpwl
+            data["gp_hpwl"] = self.wirelength.gp_hpwl
+            data["delta_hpwl_percent"] = self.wirelength.delta_hpwl_percent
+        return data
+
+    def format(self) -> str:
+        lines = [
+            f"quality report: {self.design_name} ({self.num_cells} cells)",
+            f"  legality     : {self.legality.summary()}",
+            f"  displacement : total {self.displacement.total_manhattan_sites:.1f} sites, "
+            f"max {self.displacement.max_manhattan:.2f}, "
+            f"mean {self.displacement.mean_manhattan:.3f}",
+            f"  density      : {self.density:.3f} "
+            f"(row util max {self.max_row_utilization:.2f}, "
+            f"mean {self.mean_row_utilization:.2f})",
+        ]
+        if self.wirelength is not None:
+            lines.append(
+                f"  wirelength   : {self.wirelength.legal_hpwl:.5g} "
+                f"(ΔHPWL {self.wirelength.delta_hpwl_percent:+.2f}%)"
+            )
+        return "\n".join(lines) + "\n"
+
+
+def quality_report(design: Design, check_sites: bool = True) -> QualityReport:
+    """Measure a design's quality in one pass."""
+    utils = row_utilizations(design)
+    return QualityReport(
+        design_name=design.name,
+        num_cells=len(design.movable_cells),
+        legality=check_legality(design, check_sites=check_sites),
+        displacement=displacement_stats(design),
+        wirelength=wirelength_stats(design) if design.nets else None,
+        density=global_density(design),
+        max_row_utilization=max(utils) if utils else 0.0,
+        mean_row_utilization=sum(utils) / len(utils) if utils else 0.0,
+    )

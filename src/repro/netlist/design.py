@@ -1,0 +1,165 @@
+"""The design database: core area + cells + nets.
+
+:class:`Design` is the single object every stage of the flow consumes and
+produces.  It owns the cell instances (whose ``(x, y)`` the legalizer
+mutates), the netlist for wirelength evaluation, and the core-area/rail
+context.  Convenience constructors and snapshot/restore support make it easy
+to run several legalizers on identical inputs — exactly what the paper's
+Table 2 comparison needs.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.netlist.cell import CellInstance, CellMaster, RailType
+from repro.netlist.net import Net, Pin
+from repro.rows.core_area import CoreArea
+
+
+@dataclass
+class Design:
+    """A placement instance.
+
+    Attributes
+    ----------
+    name:
+        Benchmark/design name.
+    core:
+        Core area (rows, sites, rails).
+    cells:
+        Movable and fixed cell instances, indexed by ``cell.id`` which is
+        the position in this list.
+    nets:
+        Netlist used only for HPWL metrics.
+    masters:
+        Library of masters, by name.
+    """
+
+    name: str
+    core: CoreArea
+    cells: List[CellInstance] = field(default_factory=list)
+    nets: List[Net] = field(default_factory=list)
+    masters: Dict[str, CellMaster] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def add_master(self, master: CellMaster) -> CellMaster:
+        if master.name in self.masters:
+            existing = self.masters[master.name]
+            if existing != master:
+                raise ValueError(f"conflicting master definition for {master.name!r}")
+            return existing
+        self.masters[master.name] = master
+        return master
+
+    def add_cell(
+        self,
+        name: str,
+        master: CellMaster,
+        gp_x: float,
+        gp_y: float,
+        fixed: bool = False,
+    ) -> CellInstance:
+        """Create a cell instance at a global-placement position."""
+        self.add_master(master)
+        cell = CellInstance(
+            id=len(self.cells),
+            name=name,
+            master=master,
+            gp_x=gp_x,
+            gp_y=gp_y,
+            x=gp_x,
+            y=gp_y,
+            fixed=fixed,
+        )
+        self.cells.append(cell)
+        return cell
+
+    def add_net(self, name: str, pins: Iterable[Pin] = ()) -> Net:
+        net = Net(id=len(self.nets), name=name, pins=list(pins))
+        self.nets.append(net)
+        return net
+
+    def cell_by_name(self, name: str) -> CellInstance:
+        for cell in self.cells:
+            if cell.name == name:
+                return cell
+        raise KeyError(f"no cell named {name!r}")
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def movable_cells(self) -> List[CellInstance]:
+        return [c for c in self.cells if not c.fixed]
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.cells)
+
+    def count_by_height(self) -> Dict[int, int]:
+        """Histogram of movable-cell heights in rows (Table 1's #S/#D columns)."""
+        hist: Dict[int, int] = {}
+        for cell in self.movable_cells:
+            hist[cell.height_rows] = hist.get(cell.height_rows, 0) + 1
+        return hist
+
+    def total_cell_area(self) -> float:
+        return sum(
+            c.width * c.height(self.core.row_height) for c in self.movable_cells
+        )
+
+    def density(self) -> float:
+        """Placement density: movable cell area over core area."""
+        core_area = self.core.width * self.core.height
+        if core_area <= 0:
+            return 0.0
+        return self.total_cell_area() / core_area
+
+    # ------------------------------------------------------------------
+    # Position snapshots (for running several legalizers on one input)
+    # ------------------------------------------------------------------
+    def snapshot_positions(self) -> List[Tuple[float, float, bool, Optional[int]]]:
+        """Capture every cell's (x, y, flipped, row_index)."""
+        return [(c.x, c.y, c.flipped, c.row_index) for c in self.cells]
+
+    def restore_positions(
+        self, snapshot: Sequence[Tuple[float, float, bool, Optional[int]]]
+    ) -> None:
+        if len(snapshot) != len(self.cells):
+            raise ValueError("snapshot size does not match cell count")
+        for cell, (x, y, flipped, row) in zip(self.cells, snapshot):
+            cell.x = x
+            cell.y = y
+            cell.flipped = flipped
+            cell.row_index = row
+
+    def reset_to_gp(self) -> None:
+        """Reset every movable cell to its global-placement position."""
+        for cell in self.movable_cells:
+            cell.reset_to_gp()
+
+    def clone(self) -> "Design":
+        """Deep copy (cells, nets, and pin back-references all remapped)."""
+        return copy.deepcopy(self)
+
+    # ------------------------------------------------------------------
+    # Metrics shortcuts (full metrics live in repro.metrics)
+    # ------------------------------------------------------------------
+    def total_hpwl(self) -> float:
+        return sum(net.hpwl() for net in self.nets)
+
+    def gp_hpwl(self) -> float:
+        return sum(net.gp_hpwl() for net in self.nets)
+
+    def total_displacement(self) -> float:
+        """Total Manhattan displacement in database units."""
+        return sum(c.displacement() for c in self.movable_cells)
+
+    def total_displacement_sites(self) -> float:
+        """Total Manhattan displacement in site widths (Table 2's unit)."""
+        return self.total_displacement() / self.core.site_width

@@ -1,0 +1,76 @@
+"""Nets and pins.
+
+The legalizer itself only needs cell geometry, but the paper's evaluation
+reports HPWL increase from global placement (Table 2's ``ΔHPWL`` column), so
+the design database carries a full netlist.  A :class:`Pin` is attached to a
+cell at a fixed offset from the cell's bottom-left corner (or is a fixed I/O
+at an absolute position); a :class:`Net` is a set of pins whose half-
+perimeter wirelength is the bounding box semi-perimeter of the pin
+positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.netlist.cell import CellInstance
+
+
+@dataclass
+class Pin:
+    """A net terminal.
+
+    Either ``cell`` is set and ``(offset_x, offset_y)`` is relative to the
+    cell's bottom-left corner, or ``cell`` is None and the offset is an
+    absolute chip coordinate (a fixed I/O pad).
+    """
+
+    cell: Optional[CellInstance]
+    offset_x: float = 0.0
+    offset_y: float = 0.0
+    name: str = ""
+
+    def position(self) -> Tuple[float, float]:
+        """Current absolute pin position."""
+        if self.cell is None:
+            return (self.offset_x, self.offset_y)
+        return (self.cell.x + self.offset_x, self.cell.y + self.offset_y)
+
+    def gp_position(self) -> Tuple[float, float]:
+        """Absolute pin position at the global-placement coordinates."""
+        if self.cell is None:
+            return (self.offset_x, self.offset_y)
+        return (self.cell.gp_x + self.offset_x, self.cell.gp_y + self.offset_y)
+
+
+@dataclass
+class Net:
+    """A multi-terminal net."""
+
+    id: int
+    name: str
+    pins: List[Pin] = field(default_factory=list)
+
+    def add_pin(self, pin: Pin) -> None:
+        self.pins.append(pin)
+
+    def degree(self) -> int:
+        return len(self.pins)
+
+    def hpwl(self) -> float:
+        """Half-perimeter wirelength at the cells' current positions."""
+        return _hpwl_of(tuple(p.position() for p in self.pins))
+
+    def gp_hpwl(self) -> float:
+        """Half-perimeter wirelength at the global-placement positions."""
+        return _hpwl_of(tuple(p.gp_position() for p in self.pins))
+
+
+def _hpwl_of(points: Sequence[Tuple[float, float]]) -> float:
+    """HPWL of a point set; nets with < 2 pins contribute 0."""
+    if len(points) < 2:
+        return 0.0
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    return (max(xs) - min(xs)) + (max(ys) - min(ys))

@@ -1,0 +1,26 @@
+"""Convex QP containers and reference solvers (optimality oracles)."""
+
+from repro.qp.active_set import (
+    ActiveSetResult,
+    active_set_solve,
+    feasible_left_packing,
+    solve_qp_active_set,
+)
+from repro.qp.dual import make_dual_lcp
+from repro.qp.mmsim_qp import GeneralSplitting, MMSIMQPResult, solve_qp_via_mmsim
+from repro.qp.problem import QPProblem
+from repro.qp.reference import ReferenceResult, solve_reference
+
+__all__ = [
+    "QPProblem",
+    "solve_qp_via_mmsim",
+    "GeneralSplitting",
+    "MMSIMQPResult",
+    "make_dual_lcp",
+    "active_set_solve",
+    "solve_qp_active_set",
+    "feasible_left_packing",
+    "ActiveSetResult",
+    "solve_reference",
+    "ReferenceResult",
+]

@@ -1,0 +1,180 @@
+"""Primal active-set method for convex QPs.
+
+An independent, dense reference solver (Nocedal & Wright, Algorithm 16.3)
+used to *certify* MMSIM optimality on small instances: the MMSIM result and
+this solver must agree on the optimal objective.  Solves
+
+    min ½ xᵀ H x + pᵀ x    s.t.    G x >= g
+
+from a feasible start point.  The legalization QP's bound ``x >= 0`` is
+passed as extra identity rows of G by :func:`solve_qp_active_set`.
+
+This implementation is O(n³) per iteration and intended for n up to a few
+hundred — exactly the regime of test oracles, not the production MMSIM path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.qp.problem import QPProblem
+
+
+@dataclass
+class ActiveSetResult:
+    """Solution of the active-set method."""
+
+    x: np.ndarray
+    objective: float
+    iterations: int
+    converged: bool
+    active_set: List[int]
+    multipliers: np.ndarray  # one per row of G (zero for inactive rows)
+
+
+def _solve_eqp(
+    H: np.ndarray, grad: np.ndarray, G_active: np.ndarray
+) -> tuple:
+    """Equality-constrained QP step: min ½pᵀHp + gradᵀp s.t. G_active p = 0.
+
+    Solved via the dense KKT system with least-squares fallback for
+    degenerate working sets.  Returns (p, lambdas).
+    """
+    n = H.shape[0]
+    k = G_active.shape[0]
+    if k == 0:
+        p = np.linalg.solve(H, -grad)
+        return p, np.zeros(0)
+    kkt = np.zeros((n + k, n + k))
+    kkt[:n, :n] = H
+    kkt[:n, n:] = -G_active.T
+    kkt[n:, :n] = G_active
+    rhs = np.concatenate([-grad, np.zeros(k)])
+    try:
+        sol = np.linalg.solve(kkt, rhs)
+    except np.linalg.LinAlgError:
+        sol = np.linalg.lstsq(kkt, rhs, rcond=None)[0]
+    return sol[:n], sol[n:]
+
+
+def active_set_solve(
+    H: np.ndarray,
+    p: np.ndarray,
+    G: np.ndarray,
+    g: np.ndarray,
+    x0: np.ndarray,
+    max_iterations: int = 10000,
+    tol: float = 1e-9,
+) -> ActiveSetResult:
+    """Run the primal active-set method from a feasible x0."""
+    H = np.asarray(H, dtype=float)
+    p = np.asarray(p, dtype=float).ravel()
+    G = np.asarray(G, dtype=float)
+    g = np.asarray(g, dtype=float).ravel()
+    x = np.asarray(x0, dtype=float).copy()
+    m = G.shape[0]
+    if np.any(G @ x < g - 1e-7):
+        raise ValueError("active_set_solve requires a feasible start point")
+
+    working: List[int] = [
+        i for i in range(m) if abs(G[i] @ x - g[i]) <= tol
+    ]
+    lambdas_full = np.zeros(m)
+    converged = False
+    iterations = 0
+    for it in range(1, max_iterations + 1):
+        iterations = it
+        grad = H @ x + p
+        G_active = G[working] if working else np.zeros((0, x.size))
+        step, lambdas = _solve_eqp(H, grad, G_active)
+        if np.linalg.norm(step, ord=np.inf) <= tol:
+            # Stationary on the working set: check multiplier signs.
+            lambdas_full[:] = 0.0
+            for idx, lam in zip(working, lambdas):
+                lambdas_full[idx] = lam
+            if not working or np.all(lambdas >= -tol):
+                converged = True
+                break
+            drop = working[int(np.argmin(lambdas))]
+            working.remove(drop)
+            continue
+        # Line search toward the constrained Newton step.
+        alpha = 1.0
+        blocking = -1
+        Gp = G @ step
+        Gx = G @ x
+        for i in range(m):
+            if i in working or Gp[i] >= -tol:
+                continue
+            limit = (g[i] - Gx[i]) / Gp[i]
+            if limit < alpha:
+                alpha = max(limit, 0.0)
+                blocking = i
+        x = x + alpha * step
+        if blocking >= 0:
+            working.append(blocking)
+    return ActiveSetResult(
+        x=x,
+        objective=float(0.5 * x @ (H @ x) + p @ x),
+        iterations=iterations,
+        converged=converged,
+        active_set=sorted(working),
+        multipliers=lambdas_full,
+    )
+
+
+def solve_qp_active_set(
+    qp: QPProblem, x0: Optional[np.ndarray] = None
+) -> ActiveSetResult:
+    """Solve a :class:`QPProblem` (with its x >= 0 bound) by active set.
+
+    When ``x0`` is omitted, a feasible point is constructed by left-packing:
+    the QP's constraint structure (chains ``x_j − x_l >= w_l`` plus
+    ``x >= 0``) always admits the point obtained by topologically walking
+    each chain and stacking from 0 — see :func:`feasible_left_packing`.
+    """
+    n = qp.num_variables
+    H = qp.H.toarray() if sp.issparse(qp.H) else np.asarray(qp.H)
+    B = qp.B.toarray() if sp.issparse(qp.B) else np.asarray(qp.B)
+    G = np.vstack([B, np.eye(n)]) if qp.num_constraints else np.eye(n)
+    g = np.concatenate([qp.b, np.zeros(n)]) if qp.num_constraints else np.zeros(n)
+    if x0 is None:
+        x0 = feasible_left_packing(qp)
+    return active_set_solve(H, qp.p, G, g, x0)
+
+
+def feasible_left_packing(qp: QPProblem) -> np.ndarray:
+    """A feasible point for chain-structured legalization QPs.
+
+    Treat each constraint row ``x_j − x_l >= b_k`` as a precedence edge
+    l → j and propagate longest-path distances from 0.  Works for any DAG
+    of difference constraints with non-negative offsets (which row-ordered
+    legalization always produces).
+    """
+    n = qp.num_variables
+    B = sp.csr_matrix(qp.B)
+    edges = []
+    for k in range(B.shape[0]):
+        row = B.getrow(k)
+        cols = row.indices
+        vals = row.data
+        if len(cols) != 2:
+            raise ValueError("left packing expects two-term difference rows")
+        j = cols[np.argmax(vals)]   # +1 coefficient
+        l = cols[np.argmin(vals)]   # -1 coefficient
+        edges.append((l, j, qp.b[k]))
+    x = np.zeros(n)
+    # Bellman-Ford style relaxation; chains are short so few passes suffice.
+    for _ in range(n):
+        changed = False
+        for l, j, w in edges:
+            if x[j] < x[l] + w - 1e-15:
+                x[j] = x[l] + w
+                changed = True
+        if not changed:
+            break
+    return x

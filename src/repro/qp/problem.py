@@ -1,0 +1,100 @@
+"""Convex quadratic program container.
+
+The legalization relaxation (paper's Problem (6) / Problem (13)) is
+
+    min ½ xᵀ H x + pᵀ x
+    s.t. B x >= b,  x >= 0,
+
+with ``H = Q + λ EᵀE`` symmetric positive definite and ``B`` of full row
+rank.  :class:`QPProblem` stores this data (sparse), evaluates objectives
+and feasibility, and converts to the KKT LCP of Eq. (8)/(15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.lcp.problem import LCP, make_kkt_lcp
+
+Matrix = Union[np.ndarray, sp.spmatrix]
+
+
+@dataclass
+class QPProblem:
+    """``min ½xᵀHx + pᵀx  s.t.  Bx >= b, x >= 0``."""
+
+    H: sp.spmatrix
+    p: np.ndarray
+    B: sp.spmatrix
+    b: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.H = sp.csr_matrix(self.H)
+        self.B = sp.csr_matrix(self.B)
+        self.p = np.asarray(self.p, dtype=float).ravel()
+        self.b = np.asarray(self.b, dtype=float).ravel()
+        n = self.p.shape[0]
+        m = self.b.shape[0]
+        if self.H.shape != (n, n):
+            raise ValueError(f"H shape {self.H.shape} != ({n},{n})")
+        if self.B.shape != (m, n):
+            raise ValueError(f"B shape {self.B.shape} != ({m},{n})")
+
+    @property
+    def num_variables(self) -> int:
+        return self.p.shape[0]
+
+    @property
+    def num_constraints(self) -> int:
+        return self.b.shape[0]
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def objective(self, x: np.ndarray) -> float:
+        """½xᵀHx + pᵀx."""
+        x = np.asarray(x, dtype=float).ravel()
+        return float(0.5 * x @ (self.H @ x) + self.p @ x)
+
+    def constraint_violation(self, x: np.ndarray) -> float:
+        """Largest violation of Bx >= b or x >= 0 (0 when feasible)."""
+        x = np.asarray(x, dtype=float).ravel()
+        viol = 0.0
+        if self.num_constraints:
+            viol = max(viol, float(np.max(self.b - self.B @ x)))
+        if self.num_variables:
+            viol = max(viol, float(np.max(-x)))
+        return max(viol, 0.0)
+
+    def is_feasible(self, x: np.ndarray, tol: float = 1e-6) -> bool:
+        return self.constraint_violation(x) <= tol
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def kkt_lcp(self) -> LCP:
+        """The paper's KKT LCP (Eq. 8 / Eq. 15) for this QP."""
+        return make_kkt_lcp(self.H, self.p, self.B, self.b)
+
+    def kkt_residual(self, x: np.ndarray, r: np.ndarray) -> float:
+        """Max-norm violation of the KKT conditions (Eq. 7 / Eq. 14).
+
+        Useful as an optimality certificate: zero iff (x, r) is a primal-dual
+        optimal pair for the QP.
+        """
+        x = np.asarray(x, dtype=float).ravel()
+        r = np.asarray(r, dtype=float).ravel()
+        u = self.H @ x + self.p - self.B.T @ r
+        v = self.B @ x - self.b
+        res = 0.0
+        res = max(res, float(np.max(-np.minimum(u, 0.0), initial=0.0)))
+        res = max(res, float(np.max(-np.minimum(v, 0.0), initial=0.0)))
+        res = max(res, float(np.max(-np.minimum(x, 0.0), initial=0.0)))
+        res = max(res, float(np.max(-np.minimum(r, 0.0), initial=0.0)))
+        res = max(res, abs(float(r @ v)))
+        res = max(res, abs(float(u @ x)))
+        return res

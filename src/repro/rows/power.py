@@ -1,0 +1,114 @@
+"""Power-rail scheme of a standard-cell row structure.
+
+In a standard-cell design, VDD and VSS rails alternate between rows: every
+row boundary carries one rail, shared by the row below and the row above.
+A :class:`RailScheme` answers, for any row index, which rail type lies at
+the row's bottom (and top) boundary, and whether a cell of a given height
+and bottom-rail type may legally sit with its bottom on that row.
+
+The rules implemented here follow Section 1 / Figure 1 of the paper:
+
+* Odd-row-height cells (1, 3, ... rows) can be placed on *any* row — if the
+  rails do not line up directly, a vertical flip fixes them, because an
+  odd-height cell's top and bottom boundaries carry *different* rail types.
+* Even-row-height cells (2, 4, ... rows) have the *same* rail type on both
+  boundaries, so flipping cannot help: the row's bottom rail must equal the
+  cell's designed bottom rail, which restricts the cell to every other row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.netlist.cell import CellMaster, RailType
+
+
+@dataclass(frozen=True)
+class RailScheme:
+    """Alternating VDD/VSS rails; ``bottom_rail_of_row_0`` anchors the parity."""
+
+    bottom_rail_of_row_0: RailType = RailType.VSS
+
+    def bottom_rail(self, row_index: int) -> RailType:
+        """Rail type at the bottom boundary of *row_index*."""
+        if row_index % 2 == 0:
+            return self.bottom_rail_of_row_0
+        return self.bottom_rail_of_row_0.opposite()
+
+    def top_rail(self, row_index: int) -> RailType:
+        """Rail type at the top boundary of *row_index* (== bottom of next)."""
+        return self.bottom_rail(row_index + 1)
+
+    # ------------------------------------------------------------------
+    # Placement legality
+    # ------------------------------------------------------------------
+    def row_is_correct(self, master: CellMaster, row_index: int) -> bool:
+        """May a cell of this master sit with its bottom on *row_index*?
+
+        Odd-height masters: always (vertical flipping resolves mismatch).
+        Even-height masters: only when the row's bottom rail matches the
+        master's designed bottom rail.
+        """
+        if not master.is_even_height:
+            return True
+        return self.bottom_rail(row_index) == master.bottom_rail
+
+    def needs_flip(self, master: CellMaster, row_index: int) -> bool:
+        """Whether an odd-height cell must be flipped to match the rails.
+
+        A master with no declared ``bottom_rail`` is rail-agnostic and never
+        needs flipping.  Raises for even-height masters on incorrect rows —
+        those cannot be fixed by flipping.
+        """
+        if master.bottom_rail is None:
+            return False
+        if master.is_even_height:
+            if not self.row_is_correct(master, row_index):
+                raise ValueError(
+                    f"even-height master {master.name!r} cannot be placed on "
+                    f"row {row_index}: rail mismatch is not fixable by flipping"
+                )
+            return False
+        return self.bottom_rail(row_index) != master.bottom_rail
+
+    def nearest_correct_row(
+        self,
+        master: CellMaster,
+        y: float,
+        row_y0: float,
+        row_height: float,
+        num_rows: int,
+    ) -> Optional[int]:
+        """Nearest row index (by |y - row_y|) legal for *master*.
+
+        The cell must also fit vertically: a cell of height ``h`` rows can
+        occupy bottom rows ``0 .. num_rows - h``.  Returns None when the
+        design has no legal row at all (e.g., height taller than the core).
+        """
+        max_bottom = num_rows - master.height_rows
+        if max_bottom < 0:
+            return None
+        # Real-valued nearest row, then clamp and search outward.
+        ideal = round((y - row_y0) / row_height)
+        ideal = min(max(ideal, 0), max_bottom)
+        if self.row_is_correct(master, ideal):
+            return ideal
+        # Alternate rows outward from the ideal one.
+        for step in range(1, max_bottom + 2):
+            for cand in (ideal - step, ideal + step):
+                if 0 <= cand <= max_bottom and self.row_is_correct(master, cand):
+                    # Among the two candidates at this step, prefer the one
+                    # truly nearest in y (they are equidistant in index but
+                    # the real y may break the tie).
+                    other = ideal + step if cand == ideal - step else ideal - step
+                    if (
+                        0 <= other <= max_bottom
+                        and self.row_is_correct(master, other)
+                    ):
+                        y_cand = row_y0 + cand * row_height
+                        y_other = row_y0 + other * row_height
+                        if abs(y_other - y) < abs(y_cand - y):
+                            return other
+                    return cand
+        return None

@@ -1,0 +1,5 @@
+"""Small shared utilities."""
+
+from repro.utils.timer import StageTimer
+
+__all__ = ["StageTimer"]

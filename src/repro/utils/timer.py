@@ -1,0 +1,41 @@
+"""Lightweight wall-clock timing for flow stages.
+
+The paper reports per-benchmark runtimes; :class:`StageTimer` records named
+stage durations so the legalizer can attach a runtime breakdown to its
+result without any external profiler.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+
+class StageTimer:
+    """Accumulates wall-clock seconds per named stage."""
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._totals[name] = self._totals.get(name, 0.0) + elapsed
+
+    def seconds(self, name: str) -> float:
+        return self._totals.get(name, 0.0)
+
+    def total(self) -> float:
+        return sum(self._totals.values())
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._totals)
+
+    def __str__(self) -> str:
+        parts = ", ".join(f"{k}={v:.3f}s" for k, v in self._totals.items())
+        return f"StageTimer({parts}, total={self.total():.3f}s)"

@@ -1,0 +1,5 @@
+"""Placement visualization (SVG, no external dependencies)."""
+
+from repro.viz.svg import render_convergence_svg, render_svg, save_svg
+
+__all__ = ["render_svg", "save_svg", "render_convergence_svg"]

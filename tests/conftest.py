@@ -1,0 +1,61 @@
+"""Shared fixtures: small hand-built designs and generator shortcuts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.netlist.cell import CellMaster, RailType
+from repro.netlist.design import Design
+from repro.rows.core_area import CoreArea
+
+
+@pytest.fixture
+def core10x60() -> CoreArea:
+    """A 10-row, 60-site core with unit sites and 9-unit rows."""
+    return CoreArea(num_rows=10, row_height=9.0, num_sites=60, site_width=1.0)
+
+
+@pytest.fixture
+def single_master() -> CellMaster:
+    return CellMaster("S4", width=4.0, height_rows=1)
+
+
+@pytest.fixture
+def double_master_vss() -> CellMaster:
+    return CellMaster("D3_VSS", width=3.0, height_rows=2, bottom_rail=RailType.VSS)
+
+
+@pytest.fixture
+def double_master_vdd() -> CellMaster:
+    return CellMaster("D3_VDD", width=3.0, height_rows=2, bottom_rail=RailType.VDD)
+
+
+@pytest.fixture
+def empty_design(core10x60) -> Design:
+    return Design(name="empty", core=core10x60)
+
+
+@pytest.fixture
+def small_mixed_design(core10x60, single_master, double_master_vss) -> Design:
+    """A deterministic 30-cell mixed-height design with mild overlaps."""
+    design = Design(name="small_mixed", core=core10x60)
+    rng = np.random.default_rng(42)
+    for i in range(30):
+        master = double_master_vss if i % 6 == 0 else single_master
+        x = float(rng.uniform(0, 50))
+        y = float(rng.uniform(0, 70))
+        design.add_cell(f"c{i}", master, x, y)
+    return design
+
+
+def build_row_design(
+    core: CoreArea, xs, widths=None, name: str = "rowtest"
+) -> Design:
+    """Single-row-height design with given GP x positions on row 0."""
+    design = Design(name=name, core=core)
+    widths = widths or [4.0] * len(xs)
+    for i, (x, w) in enumerate(zip(xs, widths)):
+        master = CellMaster(f"S{w:g}_{i}", width=w, height_rows=1)
+        design.add_cell(f"c{i}", master, float(x), 0.0)
+    return design

@@ -1,0 +1,211 @@
+"""Tests for the analysis harness, SVG rendering, and the CLI."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE2_NORMALIZED,
+    TABLE2_ALGORITHMS,
+    format_table,
+    normalized_averages,
+    run_comparison,
+    run_one,
+)
+from repro.baselines import TetrisLegalizer
+from repro.benchgen import make_benchmark
+from repro.cli import main
+from repro.core import MMSIMLegalizer
+from repro.viz import render_svg, save_svg
+
+
+class TestPaperData:
+    def test_table1_complete(self):
+        assert len(PAPER_TABLE1) == 20
+        assert PAPER_TABLE1["des_perf_1"].num_illegal == 902
+        assert PAPER_TABLE1["pci_bridge32_a"].num_illegal == 0
+
+    def test_table2_complete(self):
+        assert len(PAPER_TABLE2) == 20
+        row = PAPER_TABLE2["fft_2"]
+        assert row.disp["ours"] == 20979
+        assert row.delta_hpwl_pct["dac16"] == 0.87
+        assert row.runtime_s["aspdac17"] == 1.1
+
+    def test_normalized_row(self):
+        assert PAPER_TABLE2_NORMALIZED["disp"]["dac16"] == 1.16
+        assert PAPER_TABLE2_NORMALIZED["delta_hpwl"]["ours"] == 1.00
+
+    def test_algorithm_mapping(self):
+        assert TABLE2_ALGORITHMS["ours"] == "mmsim"
+        assert set(TABLE2_ALGORITHMS) == {"dac16", "dac16_imp", "aspdac17", "ours"}
+
+
+class TestCompareHarness:
+    def test_run_one_measures_externally(self, small_mixed_design):
+        rec = run_one(small_mixed_design, MMSIMLegalizer())
+        assert rec.algorithm == "mmsim"
+        assert rec.legal
+        assert rec.disp_sites > 0
+        assert "iterations" in rec.extra
+
+    def test_run_comparison_identical_inputs(self):
+        records = run_comparison(
+            lambda: make_benchmark("fft_a", scale=0.005, seed=1),
+            [TetrisLegalizer(), MMSIMLegalizer()],
+        )
+        assert [r.algorithm for r in records] == ["tetris", "mmsim"]
+        assert all(r.legal for r in records)
+
+    def test_normalized_averages(self):
+        records = run_comparison(
+            lambda: make_benchmark("fft_a", scale=0.005, seed=1),
+            [TetrisLegalizer(), MMSIMLegalizer()],
+        )
+        norm = normalized_averages(records, "mmsim")
+        assert norm["mmsim"]["disp"] == pytest.approx(1.0)
+        assert norm["tetris"]["disp"] >= 0.5
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"],
+            [["abc", 1234.5], ["d", 2]],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert "1,234" in text
+
+    def test_bool_and_zero_formatting(self):
+        text = format_table(["a", "b", "c"], [[True, False, 0.0]])
+        assert "yes" in text and "no" in text and "0" in text
+
+
+class TestSVG:
+    def test_structure(self, small_mixed_design):
+        from repro.core import legalize
+
+        legalize(small_mixed_design)
+        svg = render_svg(small_mixed_design)
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        # One rect per cell plus background and core outline.
+        assert svg.count("<rect") >= small_mixed_design.num_cells + 2
+        assert "<line" in svg  # displacement vectors
+
+    def test_clip_window(self, small_mixed_design):
+        svg_full = render_svg(small_mixed_design)
+        svg_clip = render_svg(small_mixed_design, clip=(0, 0, 10, 18))
+        assert svg_clip.count("<rect") <= svg_full.count("<rect")
+
+    def test_save(self, small_mixed_design, tmp_path):
+        path = save_svg(small_mixed_design, str(tmp_path / "out.svg"))
+        assert os.path.exists(path)
+
+    def test_no_displacement_lines_when_disabled(self, small_mixed_design):
+        svg = render_svg(small_mixed_design, show_displacement=False, show_rows=False)
+        assert "<line" not in svg
+
+
+class TestCLI:
+    def test_gen_and_check_json(self, tmp_path):
+        out = str(tmp_path / "bench.json")
+        assert main(["gen", "fft_a", out, "--scale", "0.005", "--seed", "1"]) == 0
+        assert os.path.exists(out)
+        # A raw GP has overlaps: check exits nonzero.
+        assert main(["check", out]) == 1
+
+    def test_legalize_json(self, tmp_path, capsys):
+        src = str(tmp_path / "bench.json")
+        dst = str(tmp_path / "legal.json")
+        svg = str(tmp_path / "plot.svg")
+        main(["gen", "fft_a", src, "--scale", "0.005", "--seed", "1"])
+        code = main(["legalize", src, "--output", dst, "--svg", svg])
+        assert code == 0
+        assert os.path.exists(dst) and os.path.exists(svg)
+        assert main(["check", dst]) == 0
+        out = capsys.readouterr().out
+        assert "LEGAL" in out
+
+    def test_legalize_bookshelf(self, tmp_path):
+        src = str(tmp_path / "bench.aux")
+        main(["gen", "fft_a", src, "--scale", "0.005", "--seed", "2"])
+        assert os.path.exists(src)
+        assert main(["legalize", src, "--algorithm", "tetris"]) == 0
+
+    def test_compare_prints_table(self, tmp_path, capsys):
+        code = main(
+            ["compare", "fft_a", "--scale", "0.005", "--seed", "1",
+             "--algorithms", "tetris,mmsim"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tetris" in out and "mmsim" in out
+
+    def test_unknown_algorithm_rejected(self, tmp_path):
+        src = str(tmp_path / "b.json")
+        main(["gen", "fft_a", src, "--scale", "0.005"])
+        with pytest.raises(SystemExit):
+            main(["legalize", src, "--algorithm", "quantum"])
+
+    def test_bad_extension_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["gen", "fft_a", str(tmp_path / "x.txt")])
+
+    def test_bench_subcommand(self, tmp_path, capsys):
+        out = str(tmp_path / "t1.txt")
+        code = main(["bench", "table1", "--cell-cap", "60", "--seed", "3",
+                     "--output", out])
+        assert code == 0
+        assert os.path.exists(out)
+        text = capsys.readouterr().out
+        assert "Table 1" in text
+        assert "Average" in text
+
+    def test_single_height_flag(self, tmp_path):
+        out = str(tmp_path / "s.json")
+        main(["gen", "fft_a", out, "--scale", "0.005", "--single-height"])
+        data = json.load(open(out))
+        assert all(m["height_rows"] == 1 for m in data["masters"])
+
+
+class TestQualityReport:
+    def test_full_report_on_legalized_design(self):
+        from repro.core import legalize
+        from repro.metrics import quality_report
+
+        design = make_benchmark("fft_a", scale=0.005, seed=1)
+        legalize(design)
+        report = quality_report(design)
+        assert report.is_legal
+        data = report.as_dict()
+        assert data["legal"] is True
+        assert data["disp_total_sites"] > 0
+        assert "delta_hpwl_percent" in data
+        assert 0 < data["row_util_max"] <= 1.0
+        text = report.format()
+        assert "legality" in text and "ΔHPWL" in text
+
+    def test_report_without_nets(self):
+        from repro.metrics import quality_report
+
+        design = make_benchmark("fft_a", scale=0.005, seed=1, with_nets=False)
+        report = quality_report(design)
+        assert report.wirelength is None
+        assert "hpwl" not in report.as_dict()
+        assert "wirelength" not in report.format()
+
+    def test_cli_check_full(self, tmp_path, capsys):
+        src = str(tmp_path / "b.json")
+        main(["gen", "fft_a", src, "--scale", "0.005", "--seed", "1"])
+        code = main(["check", src, "--full"])
+        assert code == 1  # raw GP is illegal
+        out = capsys.readouterr().out
+        assert "quality report" in out
+        assert "displacement" in out

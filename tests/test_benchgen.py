@@ -1,0 +1,162 @@
+"""Tests for the synthetic benchmark generator and netlist generator."""
+
+import numpy as np
+import pytest
+
+from repro.benchgen import (
+    PAPER_PROFILES,
+    GeneratorConfig,
+    NetgenConfig,
+    generate_benchmark,
+    generate_nets,
+    get_profile,
+    make_benchmark,
+)
+from repro.benchgen.generator import sample_width_sites
+from repro.legality import check_legality
+
+
+class TestProfiles:
+    def test_twenty_paper_benchmarks(self):
+        assert len(PAPER_PROFILES) == 20
+        names = [p.name for p in PAPER_PROFILES]
+        assert "des_perf_1" in names
+        assert "superblue12" in names
+
+    def test_table1_values(self):
+        p = get_profile("fft_2")
+        assert p.num_single == 30297
+        assert p.num_double == 1984
+        assert p.density == 0.50
+        assert p.gp_hpwl_m == 0.46
+
+    def test_double_fraction_about_ten_percent(self):
+        for p in PAPER_PROFILES:
+            assert 0.015 < p.double_fraction < 0.12
+
+    def test_scaling(self):
+        p = get_profile("fft_2")
+        s = p.scaled(0.1)
+        assert s.num_single == round(30297 * 0.1)
+        assert s.num_double == round(1984 * 0.1)
+        with pytest.raises(ValueError):
+            p.scaled(0.0)
+        with pytest.raises(ValueError):
+            p.scaled(1.5)
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            get_profile("nope")
+
+
+class TestGenerator:
+    def test_cell_counts_match_scaled_profile(self):
+        design = generate_benchmark("fft_2", scale=0.02, seed=0)
+        hist = design.count_by_height()
+        assert hist[1] == round(30297 * 0.02)
+        assert hist[2] == round(1984 * 0.02)
+
+    def test_density_near_target(self):
+        for bench in ("fft_2", "des_perf_1", "pci_bridge32_b"):
+            design = generate_benchmark(bench, scale=0.02, seed=1)
+            target = get_profile(bench).density
+            assert design.density() == pytest.approx(target, rel=0.15)
+
+    def test_deterministic(self):
+        a = generate_benchmark("fft_a", scale=0.01, seed=9)
+        b = generate_benchmark("fft_a", scale=0.01, seed=9)
+        assert [(c.gp_x, c.gp_y) for c in a.cells] == [
+            (c.gp_x, c.gp_y) for c in b.cells
+        ]
+
+    def test_different_seeds_differ(self):
+        a = generate_benchmark("fft_a", scale=0.01, seed=1)
+        b = generate_benchmark("fft_a", scale=0.01, seed=2)
+        assert [(c.gp_x, c.gp_y) for c in a.cells] != [
+            (c.gp_x, c.gp_y) for c in b.cells
+        ]
+
+    def test_gp_positions_inside_core(self):
+        design = generate_benchmark("des_perf_1", scale=0.01, seed=3)
+        core = design.core
+        for cell in design.cells:
+            assert core.xl <= cell.gp_x <= core.xh - cell.width + 1e-9
+            assert core.yl <= cell.gp_y <= core.yh - cell.height(core.row_height) + 1e-9
+
+    def test_single_height_variant(self):
+        design = generate_benchmark("fft_2", scale=0.01, seed=0, mixed=False)
+        assert design.count_by_height() == {1: design.num_cells}
+        assert design.name.endswith("_single")
+
+    def test_doubles_have_rails(self):
+        design = generate_benchmark("fft_2", scale=0.01, seed=0)
+        doubles = [c for c in design.movable_cells if c.height_rows == 2]
+        assert doubles
+        assert all(c.master.bottom_rail is not None for c in doubles)
+
+    def test_feasible_by_construction(self):
+        """A legal placement exists: total width per row set fits the core
+        (verified by actually legalizing without failures)."""
+        from repro.baselines import ChowLegalizer, TetrisLegalizer
+
+        design = generate_benchmark("des_perf_1", scale=0.01, seed=5)
+        result = ChowLegalizer().legalize(design)
+        assert result.num_failed == 0
+        assert check_legality(design).is_legal
+        # Even frontier-stacking Tetris stays total thanks to its repair pass.
+        design2 = generate_benchmark("des_perf_1", scale=0.01, seed=5)
+        result2 = TetrisLegalizer().legalize(design2)
+        assert result2.num_failed == 0
+        assert check_legality(design2).is_legal
+
+    def test_width_sampler_within_bounds(self):
+        cfg = GeneratorConfig()
+        rng = np.random.default_rng(0)
+        widths = [sample_width_sites(rng, cfg) for _ in range(500)]
+        assert min(widths) >= cfg.min_width_sites
+        assert max(widths) <= cfg.max_width_sites
+        # Small cells dominate (geometric decay).
+        assert np.mean(widths) < (cfg.min_width_sites + cfg.max_width_sites) / 2
+
+
+class TestNetgen:
+    def test_net_count_scales_with_cells(self):
+        design = generate_benchmark("fft_a", scale=0.01, seed=0)
+        n = generate_nets(design, seed=1)
+        assert n == len(design.nets)
+        assert 0.9 * design.num_cells <= n <= 1.3 * design.num_cells
+
+    def test_degrees_in_range(self):
+        design = generate_benchmark("fft_a", scale=0.01, seed=0)
+        cfg = NetgenConfig()
+        generate_nets(design, cfg, seed=1)
+        for net in design.nets:
+            assert cfg.min_degree <= net.degree() <= cfg.max_regional_degree
+
+    def test_pins_inside_cells(self):
+        design = generate_benchmark("fft_a", scale=0.01, seed=0)
+        generate_nets(design, seed=1)
+        row_h = design.core.row_height
+        for net in design.nets:
+            for pin in net.pins:
+                assert 0 <= pin.offset_x <= pin.cell.width
+                assert 0 <= pin.offset_y <= pin.cell.height(row_h)
+
+    def test_tiny_design_no_nets(self, empty_design, single_master):
+        empty_design.add_cell("only", single_master, 0.0, 0.0)
+        assert generate_nets(empty_design) == 0
+
+    def test_locality(self):
+        """Most nets span a small fraction of the core (local nets)."""
+        design = generate_benchmark("fft_2", scale=0.02, seed=0)
+        generate_nets(design, seed=1)
+        spans = [net.gp_hpwl() for net in design.nets]
+        half_perimeter = design.core.width + design.core.height
+        local = sum(1 for s in spans if s < 0.2 * half_perimeter)
+        assert local / len(spans) > 0.8
+
+    def test_make_benchmark_convenience(self):
+        design = make_benchmark("fft_a", scale=0.01, seed=0)
+        assert design.nets
+        design2 = make_benchmark("fft_a", scale=0.01, seed=0, with_nets=False)
+        assert not design2.nets

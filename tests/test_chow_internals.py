@@ -1,0 +1,102 @@
+"""Unit tests for ChowLegalizer's push-insertion planner internals."""
+
+import pytest
+
+from repro.baselines.chow import ChowLegalizer, _Placed
+from repro.netlist import CellMaster, Design
+from repro.rows import CoreArea, SiteMap
+
+
+def _legalizer_with_row(occupants, num_sites=40, push_limit=24):
+    """A ChowLegalizer whose row 0 holds the given (site, n_sites) singles."""
+    core = CoreArea(num_rows=2, row_height=9.0, num_sites=num_sites)
+    design = Design(name="row", core=core)
+    leg = ChowLegalizer(improved=True, push_limit_sites=push_limit)
+    leg._site_map = SiteMap(core)
+    leg._rows = [[] for _ in range(core.num_rows)]
+    master_cache = {}
+    for i, (site, n) in enumerate(occupants):
+        master = master_cache.setdefault(n, CellMaster(f"S{n}", width=float(n), height_rows=1))
+        cell = design.add_cell(f"o{i}", master, float(site), 0.0)
+        cell.row_index = 0
+        cell.x = float(site)
+        leg._site_map.occupy_cell(cell, 0, site)
+        leg._insert_record(cell, 0, site, movable=True)
+    return leg, design, core
+
+
+class TestPlanRowPush:
+    def test_empty_interval_no_moves(self):
+        leg, design, core = _legalizer_with_row([(0, 4), (20, 4)])
+        moves, shift = leg._plan_row_push(core, 0, 8, 12)
+        assert moves == [] and shift == 0
+
+    def test_single_overlapper_pushed_right(self):
+        leg, design, core = _legalizer_with_row([(10, 4)])
+        # Open [8, 11): occupant [10,14) center 12 > 9.5 -> pushes right to 11.
+        plan = leg._plan_row_push(core, 0, 8, 11)
+        assert plan is not None
+        moves, shift = plan
+        assert len(moves) == 1
+        rec, new_site = moves[0]
+        assert new_site == 11
+        assert shift == 1
+
+    def test_single_overlapper_pushed_left(self):
+        leg, design, core = _legalizer_with_row([(10, 4)])
+        # Open [12, 16): occupant [10,14) center 12 <= 14 -> pushes left to 8.
+        plan = leg._plan_row_push(core, 0, 12, 16)
+        assert plan is not None
+        moves, shift = plan
+        rec, new_site = moves[0]
+        assert new_site == 8
+        assert shift == 2
+
+    def test_cascade(self):
+        leg, design, core = _legalizer_with_row([(4, 4), (8, 4), (12, 4)])
+        # Open [2, 6): the chain starting at 4 must slide right, each cell
+        # bumping its neighbour (6, then 10, then 14).
+        plan = leg._plan_row_push(core, 0, 2, 6)
+        assert plan is not None
+        moves, shift = plan
+        assert shift == 6
+        assert sorted(new for _, new in moves) == [6, 10, 14]
+
+    def test_left_push_blocked_at_core_edge(self):
+        leg, design, core = _legalizer_with_row([(0, 4), (4, 4), (8, 4)])
+        # Opening [10, 14) wants the chain to slide left, but it is flush
+        # against the core's left edge: infeasible for this planner.
+        assert leg._plan_row_push(core, 0, 10, 14) is None
+
+    def test_push_limit_respected(self):
+        leg, design, core = _legalizer_with_row(
+            [(0, 4), (4, 4), (8, 4), (12, 4)], push_limit=2
+        )
+        assert leg._plan_row_push(core, 0, 2, 10) is None
+
+    def test_blocked_by_edge(self):
+        leg, design, core = _legalizer_with_row([(36, 4)], num_sites=40)
+        # Opening [38, 42) is out of the core entirely.
+        assert leg._plan_row_push(core, 0, 38, 42) is None
+
+    def test_immovable_blocks(self):
+        core = CoreArea(num_rows=2, row_height=9.0, num_sites=40)
+        design = Design(name="imm", core=core)
+        leg = ChowLegalizer(improved=True)
+        leg._site_map = SiteMap(core)
+        leg._rows = [[] for _ in range(core.num_rows)]
+        fixed = design.add_cell(
+            "f", CellMaster("F4", width=4.0, height_rows=1), 10.0, 0.0, fixed=True
+        )
+        leg._site_map.occupy_cell(fixed, 0, 10)
+        leg._insert_record(fixed, 0, 10, movable=False)
+        assert leg._plan_row_push(core, 0, 8, 12) is None
+
+
+class TestPlacedRecord:
+    def test_end_property(self):
+        core = CoreArea(num_rows=1, row_height=9.0, num_sites=10)
+        design = Design(name="p", core=core)
+        cell = design.add_cell("c", CellMaster("S3", width=3.0, height_rows=1), 0, 0)
+        rec = _Placed(site=4, n_sites=3, cell=cell, movable=True)
+        assert rec.end == 7

@@ -1,0 +1,95 @@
+"""Tests for the row-compaction last-resort placement."""
+
+import pytest
+
+from repro.core.compaction import compact_rows_and_place
+from repro.legality import check_legality
+from repro.netlist import CellMaster, Design, RailType
+from repro.rows import CoreArea, SiteMap
+
+
+def _committed(design, site_map):
+    """Occupy the SiteMap with every cell's current position."""
+    core = design.core
+    for cell in design.cells:
+        row = cell.row_index
+        if row is None:
+            row = core.row_of_y(cell.y)
+            cell.row_index = row
+        site = int(round((cell.x - core.xl) / core.site_width))
+        site_map.occupy_cell(cell, row, site)
+
+
+class TestCompaction:
+    def test_fragmented_row_compacted(self):
+        """Free space 12 sites total but max gap 4: only compaction fits a
+        width-10 cell."""
+        core = CoreArea(num_rows=1, row_height=9.0, num_sites=28)
+        design = Design(name="frag", core=core)
+        s4 = CellMaster("S4", width=4.0, height_rows=1)
+        positions = [0.0, 8.0, 16.0, 24.0]  # gaps of 4 between each
+        placed = [design.add_cell(f"c{i}", s4, x, 0.0) for i, x in enumerate(positions)]
+        for cell in placed:
+            cell.x = cell.gp_x
+            cell.row_index = 0
+        wide = CellMaster("W10", width=10.0, height_rows=1)
+        new = design.add_cell("w", wide, 10.0, 0.0)
+        new.row_index = 0
+
+        site_map = SiteMap(core)
+        for cell in placed:
+            site_map.occupy_cell(cell, 0, int(cell.x))
+        assert compact_rows_and_place(design, site_map, new)
+        assert check_legality(design).is_legal
+        # Everything was slid left; the wide cell got the coalesced gap.
+        assert new.x == pytest.approx(16.0)
+
+    def test_fails_when_truly_full(self):
+        core = CoreArea(num_rows=1, row_height=9.0, num_sites=10)
+        design = Design(name="full", core=core)
+        s8 = CellMaster("S8", width=8.0, height_rows=1)
+        a = design.add_cell("a", s8, 0.0, 0.0)
+        a.row_index = 0
+        b = design.add_cell("b", CellMaster("S4", width=4.0, height_rows=1), 0.0, 0.0)
+        b.row_index = 0
+        site_map = SiteMap(core)
+        site_map.occupy_cell(a, 0, 0)
+        assert not compact_rows_and_place(design, site_map, b)
+
+    def test_multirow_barriers_respected(self):
+        """Doubles act as immovable barriers; singles compact around them."""
+        core = CoreArea(num_rows=2, row_height=9.0, num_sites=24)
+        design = Design(name="bar", core=core)
+        dbl = CellMaster("D6", width=6.0, height_rows=2, bottom_rail=RailType.VSS)
+        s4 = CellMaster("S4", width=4.0, height_rows=1)
+        d = design.add_cell("d", dbl, 8.0, 0.0)
+        d.row_index = 0
+        a = design.add_cell("a", s4, 0.0, 0.0)
+        a.row_index = 0
+        b = design.add_cell("b", s4, 16.0, 0.0)
+        b.row_index = 0
+        new = design.add_cell("n", s4, 2.0, 0.0)
+        new.row_index = 0
+        site_map = SiteMap(core)
+        site_map.occupy_cell(d, 0, 8)
+        site_map.occupy_cell(a, 0, 0)
+        site_map.occupy_cell(b, 0, 16)
+        assert compact_rows_and_place(design, site_map, new)
+        assert check_legality(design).is_legal
+        assert d.x == 8.0  # the double did not move
+
+    def test_rail_correct_row_chosen_for_double(self):
+        """A stranded double only lands on rows matching its bottom rail."""
+        core = CoreArea(num_rows=6, row_height=9.0, num_sites=12)
+        design = Design(name="rail", core=core)
+        dbl = CellMaster("D4", width=4.0, height_rows=2, bottom_rail=RailType.VDD)
+        blocker = CellMaster("S10", width=10.0, height_rows=1)
+        for r in (1, 2):
+            c = design.add_cell(f"blk{r}", blocker, 0.0, r * 9.0)
+            c.row_index = r
+        site_map = SiteMap(core)
+        _committed(design, site_map)
+        new = design.add_cell("d", dbl, 0.0, 9.0)
+        assert compact_rows_and_place(design, site_map, new)
+        assert new.row_index % 2 == 1  # VDD-bottom rows are odd
+        assert check_legality(design).is_legal

@@ -1,0 +1,141 @@
+"""Property-based tests for compaction and eviction on random layouts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compaction import compact_rows_and_place, evict_and_place
+from repro.legality import check_legality
+from repro.netlist import CellMaster, Design, RailType
+from repro.rows import CoreArea, SiteMap
+
+
+@st.composite
+def committed_layouts(draw):
+    """A random *legal* committed layout plus one uncommitted new cell.
+
+    Layouts are built by frontier packing with random gaps so they are
+    legal by construction; the new cell gets a random width/height and GP
+    position.
+    """
+    rng = np.random.default_rng(draw(st.integers(0, 10_000)))
+    num_rows = draw(st.integers(4, 8))
+    num_sites = draw(st.integers(24, 48))
+    core = CoreArea(num_rows=num_rows, row_height=9.0, num_sites=num_sites)
+    design = Design(name="prop", core=core)
+
+    frontiers = [0] * num_rows
+    target_fill = draw(st.floats(0.3, 0.8))
+    i = 0
+    while True:
+        # Stop when the average fill reaches the target.
+        if sum(frontiers) >= target_fill * num_rows * num_sites:
+            break
+        width = int(rng.integers(2, 7))
+        double = rng.random() < 0.25
+        if double:
+            rail = RailType.VSS if rng.random() < 0.5 else RailType.VDD
+            master = CellMaster(
+                f"D{width}_{rail.value}_{i}", width=float(width),
+                height_rows=2, bottom_rail=rail,
+            )
+            rows = [
+                r
+                for r in range(num_rows - 1)
+                if core.rails.bottom_rail(r) is rail
+            ]
+            row = min(rows, key=lambda r: max(frontiers[r], frontiers[r + 1]))
+            x = max(frontiers[row], frontiers[row + 1]) + int(rng.integers(0, 3))
+            if x + width > num_sites:
+                i += 1
+                if i > 200:
+                    break
+                continue
+            cell = design.add_cell(f"c{i}", master, float(x), core.row_y(row))
+            cell.row_index = row
+            cell.x = float(x)
+            frontiers[row] = frontiers[row + 1] = x + width
+        else:
+            master = CellMaster(f"S{width}_{i}", width=float(width), height_rows=1)
+            row = int(np.argmin(frontiers))
+            x = frontiers[row] + int(rng.integers(0, 3))
+            if x + width > num_sites:
+                i += 1
+                if i > 200:
+                    break
+                continue
+            cell = design.add_cell(f"c{i}", master, float(x), core.row_y(row))
+            cell.row_index = row
+            cell.x = float(x)
+            frontiers[row] = x + width
+        i += 1
+
+    new_width = draw(st.integers(2, 8))
+    new_double = draw(st.booleans())
+    if new_double:
+        rail = RailType.VSS if draw(st.booleans()) else RailType.VDD
+        new_master = CellMaster(
+            f"NEW_D{new_width}_{rail.value}", width=float(new_width),
+            height_rows=2, bottom_rail=rail,
+        )
+    else:
+        new_master = CellMaster(f"NEW_S{new_width}", width=float(new_width),
+                                height_rows=1)
+    gp_x = draw(st.floats(0, max(0.0, num_sites - new_width)))
+    gp_y = draw(st.floats(0, (num_rows - new_master.height_rows) * 9.0))
+    new_cell = design.add_cell("new", new_master, gp_x, gp_y)
+    return design, new_cell
+
+
+def _site_map_of(design):
+    core = design.core
+    sm = SiteMap(core)
+    for cell in design.cells:
+        if cell.row_index is None:
+            continue
+        site = int(round((cell.x - core.xl) / core.site_width))
+        sm.occupy_cell(cell, cell.row_index, site)
+    return sm
+
+
+@given(committed_layouts())
+@settings(max_examples=60, deadline=None)
+def test_compaction_keeps_layout_legal(layout):
+    """Whenever compaction succeeds, the whole layout is legal after it."""
+    design, new_cell = layout
+    site_map = _site_map_of(design)
+    placed = compact_rows_and_place(design, site_map, new_cell)
+    if placed:
+        report = check_legality(design)
+        assert report.is_legal, report.summary()
+        assert new_cell.row_index is not None
+    else:
+        # The new cell must not have been half-committed.
+        assert new_cell.row_index is None
+
+
+@given(committed_layouts())
+@settings(max_examples=40, deadline=None)
+def test_eviction_keeps_layout_legal_or_reports_failure(layout):
+    design, new_cell = layout
+    site_map = _site_map_of(design)
+    placed = evict_and_place(design, site_map, new_cell)
+    if placed:
+        report = check_legality(design)
+        assert report.is_legal, report.summary()
+        # Every cell remains placed.
+        assert all(c.row_index is not None for c in design.movable_cells)
+
+
+@given(committed_layouts())
+@settings(max_examples=40, deadline=None)
+def test_compaction_never_moves_cells_rightward(layout):
+    """Compaction is a left-compaction: committed cells only move left."""
+    design, new_cell = layout
+    before = {c.id: c.x for c in design.cells if c.row_index is not None}
+    site_map = _site_map_of(design)
+    if compact_rows_and_place(design, site_map, new_cell):
+        for cell in design.cells:
+            if cell.id in before:
+                assert cell.x <= before[cell.id] + 1e-9

@@ -1,0 +1,106 @@
+"""Late-added edge cases rounding out coverage."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RowPlacer, placerow_refine
+from repro.core import legalize
+from repro.legality import check_legality
+from repro.netlist import CellMaster, Design, Pin, RailType
+from repro.rows import CoreArea
+from repro.viz import render_svg
+
+
+class TestRefineMultiSegment:
+    def test_refine_across_three_segments(self):
+        """Refinement optimizes each inter-wall segment independently."""
+        core = CoreArea(num_rows=2, row_height=9.0, num_sites=60)
+        design = Design(name="seg3", core=core)
+        dbl = CellMaster("D4", width=4.0, height_rows=2, bottom_rail=RailType.VSS)
+        s3 = CellMaster("S3", width=3.0, height_rows=1)
+        walls = []
+        for i, x in enumerate((18.0, 38.0)):
+            w = design.add_cell(f"w{i}", dbl, x, 0.0)
+            w.row_index = 0
+            w.x = x
+            walls.append(w)
+        # Singles parked far from their GP within each segment.
+        specs = [(0.0, 10.0), (24.0, 30.0), (44.0, 55.0)]
+        singles = []
+        for i, (x, gp) in enumerate(specs):
+            c = design.add_cell(f"s{i}", s3, gp, 0.0)
+            c.row_index = 0
+            c.x = x
+            singles.append(c)
+        gain = placerow_refine(design)
+        assert gain > 0
+        assert check_legality(design).is_legal
+        # Each single moved toward its GP but stayed within its segment.
+        assert 0.0 <= singles[0].x <= 18.0 - 3.0
+        assert 22.0 <= singles[1].x <= 38.0 - 3.0
+        assert 42.0 <= singles[2].x
+        for w in walls:
+            assert w.x in (18.0, 38.0)
+
+
+class TestRowPlacerEdge:
+    def test_zero_weight_cell_rejected_gracefully(self):
+        placer = RowPlacer(0.0, 50.0)
+        # weight 0 would divide by zero in the mean; the cluster guards it.
+        placer.append(0, 10.0, 4.0, weight=1.0)
+        assert placer.cell_position(0) == 10.0
+
+    def test_many_identical_targets(self):
+        placer = RowPlacer(0.0, 1000.0)
+        for i in range(50):
+            placer.append(i, 500.0, 2.0)
+        positions = [x for _, x in placer.positions()]
+        # The merged cluster centres its members on the shared target: the
+        # mean left edge equals the target itself.
+        assert np.mean(positions) == pytest.approx(500.0, abs=1e-6)
+        assert positions == sorted(positions)
+
+
+class TestVizEdge:
+    def test_displacement_lines_skipped_outside_clip(self, core10x60, single_master):
+        design = Design(name="clip", core=core10x60)
+        cell = design.add_cell("far", single_master, 50.0, 81.0)
+        legalize(design)
+        cell_moved = cell.displacement() > 0
+        svg = render_svg(design, clip=(0, 0, 10, 18))
+        # The cell sits far outside the clip window: no displacement line.
+        assert "<line" not in svg or not cell_moved
+
+    def test_fixed_cells_rendered_grey(self, core10x60, single_master):
+        design = Design(name="grey", core=core10x60)
+        design.add_cell("f", single_master, 0.0, 0.0, fixed=True)
+        svg = render_svg(design)
+        assert "#888888" in svg
+
+
+class TestDegenerateDesigns:
+    def test_single_cell_design(self, core10x60, single_master):
+        design = Design(name="one", core=core10x60)
+        design.add_cell("only", single_master, 13.4, 40.0)
+        result = legalize(design)
+        assert result.converged
+        assert check_legality(design).is_legal
+        only = design.cells[0]
+        assert only.x == 13.0  # snapped
+        assert only.y in (36.0, 45.0)
+
+    def test_cells_already_legal_zero_displacement(self, core10x60, single_master):
+        design = Design(name="noop", core=core10x60)
+        for i in range(5):
+            design.add_cell(f"c{i}", single_master, float(4 * i), 0.0)
+        result = legalize(design)
+        assert result.displacement.total_manhattan == pytest.approx(0.0)
+        assert check_legality(design).is_legal
+
+    def test_net_to_fixed_io_pin(self, core10x60, single_master):
+        design = Design(name="io", core=core10x60)
+        a = design.add_cell("a", single_master, 5.3, 2.0)
+        design.add_net("n", [Pin(cell=a), Pin(cell=None, offset_x=0.0, offset_y=45.0)])
+        legalize(design)
+        assert check_legality(design).is_legal
+        assert design.total_hpwl() > 0

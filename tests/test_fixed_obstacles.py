@@ -1,0 +1,135 @@
+"""Tests for fixed-cell anchors in the QP and incremental (ECO)
+legalization."""
+
+import numpy as np
+import pytest
+
+from repro.core import LegalizerConfig, MMSIMLegalizer, legalize, legalize_incremental
+from repro.core.qp_builder import (
+    build_constraints,
+    build_legalization_qp,
+    fixed_cell_anchors,
+)
+from repro.core.row_assign import assign_rows
+from repro.core.subcells import split_cells
+from repro.legality import check_legality
+from repro.netlist import CellMaster, Design, RailType
+from repro.rows import CoreArea
+
+
+def _obstacle_design():
+    core = CoreArea(num_rows=2, row_height=9.0, num_sites=40)
+    design = Design(name="obst", core=core)
+    s4 = CellMaster("S4", width=4.0, height_rows=1)
+    design.add_cell("obst", CellMaster("F8", width=8.0, height_rows=1),
+                    16.0, 0.0, fixed=True)
+    design.add_cell("a", s4, 14.0, 0.0)
+    design.add_cell("b", s4, 18.0, 0.0)
+    design.add_cell("c", s4, 21.0, 0.0)
+    return design
+
+
+class TestFixedAnchors:
+    def test_anchor_extraction_and_merging(self):
+        core = CoreArea(xl=10.0, num_rows=3, row_height=9.0, num_sites=40)
+        design = Design(name="a", core=core)
+        f = CellMaster("F4", width=4.0, height_rows=1)
+        design.add_cell("f1", f, 12.0, 0.0, fixed=True)
+        design.add_cell("f2", f, 16.0, 0.0, fixed=True)   # abuts f1: merge
+        design.add_cell("f3", f, 30.0, 9.0, fixed=True)
+        anchors = fixed_cell_anchors(design)
+        assert anchors[0] == [(2.0, 10.0)]   # shifted by xl, merged
+        assert anchors[1] == [(20.0, 24.0)]
+
+    def test_segment_lower_offsets(self):
+        design = _obstacle_design()
+        model = split_cells(design, assign_rows(design))
+        anchors = fixed_cell_anchors(design)
+        B, b, lower = build_constraints(model, anchors=anchors)
+        dense = B.toarray()
+        # Left anchors become per-variable lower offsets, not B rows, so B
+        # keeps the paper's pure two-nonzero structure.
+        assert all(np.count_nonzero(row) == 2 for row in dense)
+        assert np.linalg.matrix_rank(dense) == dense.shape[0]
+        # The obstacle ends at 24: the right-segment variables carry it.
+        assert sorted(set(lower.tolist())) == [0.0, 24.0]
+
+    def test_cells_routed_around_obstacle(self):
+        design = _obstacle_design()
+        result = MMSIMLegalizer(
+            LegalizerConfig(tol=1e-8, residual_tol=1e-6)
+        ).legalize(design)
+        assert check_legality(design).is_legal
+        a = design.cell_by_name("a")
+        b = design.cell_by_name("b")
+        assert a.x + a.width <= 16.0 + 1e-9   # left of the obstacle
+        assert b.x >= 24.0 - 1e-9             # right of it (lower offset)
+        c = design.cell_by_name("c")
+        assert c.x >= b.x + b.width - 1e-9
+
+    def test_respect_fixed_off_reproduces_old_behaviour(self):
+        design = _obstacle_design()
+        model = split_cells(design, assign_rows(design))
+        lq = build_legalization_qp(design, model, respect_fixed=False)
+        # Without anchors every lower offset is zero.
+        assert not lq.lower.any()
+
+    def test_overfull_segment_drops_right_bound(self):
+        core = CoreArea(num_rows=1, row_height=9.0, num_sites=30)
+        design = Design(name="tight", core=core)
+        design.add_cell("f", CellMaster("F10", width=10.0, height_rows=1),
+                        12.0, 0.0, fixed=True)
+        wide = CellMaster("W8", width=8.0, height_rows=1)
+        design.add_cell("a", wide, 2.0, 0.0)
+        design.add_cell("b", wide, 4.0, 0.0)  # 16 > 12: left segment overfull
+        result = legalize(design)
+        assert check_legality(design).is_legal
+
+
+class TestIncrementalLegalization:
+    def test_eco_only_moves_selected_cells(self):
+        design = _obstacle_design()
+        legalize(design)
+        assert check_legality(design).is_legal
+        # ECO: nudge cell "b" off grid, then re-legalize only it.
+        b = design.cell_by_name("b")
+        b.x += 0.37
+        b.gp_x = b.x
+        others_before = {
+            c.id: (c.x, c.y) for c in design.movable_cells if c.name != "b"
+        }
+        result = legalize_incremental(design, {b.id})
+        assert check_legality(design).is_legal
+        for cell in design.movable_cells:
+            if cell.name != "b":
+                assert (cell.x, cell.y) == others_before[cell.id]
+        # The fixed flags were restored.
+        assert all(not c.fixed for c in design.movable_cells)
+        assert design.cell_by_name("obst").fixed
+
+    def test_eco_on_benchmark(self):
+        from repro.benchgen import make_benchmark
+
+        design = make_benchmark("fft_a", scale=0.01, seed=6, with_nets=False)
+        legalize(design)
+        rng = np.random.default_rng(0)
+        victims = rng.choice(
+            [c.id for c in design.movable_cells], size=10, replace=False
+        )
+        for cid in victims:
+            cell = design.cells[cid]
+            cell.gp_x = cell.x = min(
+                cell.x + 3.7, design.core.xh - cell.width
+            )
+        before = {
+            c.id: (c.x, c.y)
+            for c in design.movable_cells
+            if c.id not in set(victims)
+        }
+        legalize_incremental(design, set(int(v) for v in victims))
+        assert check_legality(design).is_legal
+        unchanged = sum(
+            1 for cid, pos in before.items()
+            if (design.cells[cid].x, design.cells[cid].y) == pos
+        )
+        assert unchanged == len(before)

@@ -1,0 +1,62 @@
+"""Tests for repro.geometry.grid."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import is_on_grid, snap_down, snap_nearest, snap_up, to_index
+
+
+class TestSnapping:
+    def test_snap_down(self):
+        assert snap_down(5.7, 0.0, 1.0) == 5.0
+        assert snap_down(5.0, 0.0, 1.0) == 5.0
+        assert snap_down(-0.3, 0.0, 1.0) == -1.0
+
+    def test_snap_up(self):
+        assert snap_up(5.2, 0.0, 1.0) == 6.0
+        assert snap_up(5.0, 0.0, 1.0) == 5.0
+
+    def test_snap_nearest_ties_down_bias(self):
+        assert snap_nearest(5.4, 0.0, 1.0) == 5.0
+        assert snap_nearest(5.6, 0.0, 1.0) == 6.0
+
+    def test_with_origin_and_pitch(self):
+        assert snap_down(10.0, 1.0, 3.0) == 10.0
+        assert snap_up(10.5, 1.0, 3.0) == 13.0
+        assert snap_nearest(11.0, 1.0, 3.0) == 10.0
+
+    def test_zero_pitch_raises(self):
+        for fn in (snap_down, snap_up, snap_nearest):
+            with pytest.raises(ValueError):
+                fn(1.0, 0.0, 0.0)
+
+
+class TestIndexing:
+    def test_to_index(self):
+        assert to_index(7.0, 1.0, 3.0) == 2
+
+    def test_to_index_off_grid_raises(self):
+        with pytest.raises(ValueError):
+            to_index(7.5, 1.0, 3.0)
+
+    def test_is_on_grid(self):
+        assert is_on_grid(7.0, 1.0, 3.0)
+        assert not is_on_grid(7.5, 1.0, 3.0)
+        assert is_on_grid(7.0 + 1e-9, 1.0, 3.0)
+
+
+@given(
+    x=st.floats(-1000, 1000),
+    origin=st.floats(-10, 10),
+    pitch=st.floats(0.1, 10),
+)
+def test_snap_orderings(x, origin, pitch):
+    lo = snap_down(x, origin, pitch)
+    hi = snap_up(x, origin, pitch)
+    near = snap_nearest(x, origin, pitch)
+    assert lo <= x + 1e-6
+    assert hi >= x - 1e-6
+    assert near in (lo, hi) or abs(near - lo) < 1e-9 or abs(near - hi) < 1e-9
+    assert is_on_grid(lo, origin, pitch, tol=1e-6)
+    assert is_on_grid(hi, origin, pitch, tol=1e-6)

@@ -1,0 +1,162 @@
+"""Tests for repro.geometry.interval (incl. IntervalSet properties)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Interval, IntervalSet, overlap_length
+
+
+class TestInterval:
+    def test_basics(self):
+        iv = Interval(2.0, 5.0)
+        assert iv.length == 3.0
+        assert iv.contains(2.0)
+        assert not iv.contains(5.0)
+        assert not iv.is_empty()
+        assert Interval(3, 3).is_empty()
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Interval(5, 2)
+
+    def test_overlaps_open(self):
+        assert not Interval(0, 2).overlaps(Interval(2, 4))
+        assert Interval(0, 3).overlaps(Interval(2, 4))
+
+    def test_intersect(self):
+        assert Interval(0, 5).intersect(Interval(3, 8)) == Interval(3, 5)
+        assert Interval(0, 2).intersect(Interval(2, 4)) is None
+
+    def test_clamp(self):
+        iv = Interval(1, 4)
+        assert iv.clamp(0) == 1
+        assert iv.clamp(9) == 4
+        assert iv.clamp(2.5) == 2.5
+
+    def test_overlap_length(self):
+        assert overlap_length(Interval(0, 5), Interval(3, 9)) == 2.0
+        assert overlap_length(Interval(0, 1), Interval(2, 3)) == 0.0
+
+
+class TestIntervalSet:
+    def test_initial_merge_of_abutting(self):
+        s = IntervalSet([Interval(0, 2), Interval(2, 5)])
+        assert s.intervals() == [Interval(0, 5)]
+
+    def test_initial_overlap_raises(self):
+        with pytest.raises(ValueError):
+            IntervalSet([Interval(0, 3), Interval(2, 5)])
+
+    def test_occupy_splits(self):
+        s = IntervalSet([Interval(0, 10)])
+        s.occupy(3, 6)
+        assert s.intervals() == [Interval(0, 3), Interval(6, 10)]
+        assert s.total_length() == 7.0
+
+    def test_occupy_edge(self):
+        s = IntervalSet([Interval(0, 10)])
+        s.occupy(0, 4)
+        assert s.intervals() == [Interval(4, 10)]
+        s.occupy(6, 10)
+        assert s.intervals() == [Interval(4, 6)]
+
+    def test_occupy_not_free_raises(self):
+        s = IntervalSet([Interval(0, 10)])
+        s.occupy(3, 6)
+        with pytest.raises(ValueError):
+            s.occupy(5, 7)
+
+    def test_release_merges_both_sides(self):
+        s = IntervalSet([Interval(0, 10)])
+        s.occupy(3, 6)
+        s.release(3, 6)
+        assert s.intervals() == [Interval(0, 10)]
+
+    def test_release_overlap_raises(self):
+        s = IntervalSet([Interval(0, 10)])
+        with pytest.raises(ValueError):
+            s.release(2, 4)
+
+    def test_covers(self):
+        s = IntervalSet([Interval(0, 4), Interval(6, 10)])
+        assert s.covers(1, 3)
+        assert s.covers(0, 4)
+        assert not s.covers(3, 7)
+        assert s.covers(5, 5)  # empty ranges are trivially covered
+
+    def test_nearest_fit_inside(self):
+        s = IntervalSet([Interval(0, 10)])
+        assert s.nearest_fit(3.0, 4.0) == 3.0
+
+    def test_nearest_fit_clamps_to_interval(self):
+        s = IntervalSet([Interval(0, 10)])
+        assert s.nearest_fit(8.0, 4.0) == 6.0
+
+    def test_nearest_fit_chooses_closer_interval(self):
+        s = IntervalSet([Interval(0, 3), Interval(20, 30)])
+        # width 3 fits in both; position 5 is nearer to [0,3).
+        assert s.nearest_fit(5.0, 3.0) == 0.0
+        assert s.nearest_fit(15.0, 3.0) == 20.0
+
+    def test_nearest_fit_none_when_too_wide(self):
+        s = IntervalSet([Interval(0, 3), Interval(5, 7)])
+        assert s.nearest_fit(1.0, 4.0) is None
+
+
+@st.composite
+def occupation_sequences(draw):
+    """Random sequences of disjoint (lo, width) occupations in [0, 100)."""
+    n = draw(st.integers(1, 8))
+    spans = []
+    cursor = 0.0
+    for _ in range(n):
+        gap = draw(st.floats(0, 10))
+        width = draw(st.floats(0.5, 10))
+        lo = cursor + gap
+        if lo + width > 100:
+            break
+        spans.append((lo, width))
+        cursor = lo + width
+    return spans
+
+
+@given(occupation_sequences())
+@settings(max_examples=60)
+def test_occupy_release_roundtrip_preserves_total(spans):
+    """Occupying then releasing in any (reverse) order restores the set."""
+    s = IntervalSet([Interval(0, 100)])
+    for lo, width in spans:
+        s.occupy(lo, lo + width)
+    expected_free = 100 - sum(w for _, w in spans)
+    assert s.total_length() == pytest.approx(expected_free)
+    for lo, width in reversed(spans):
+        s.release(lo, lo + width)
+    assert s.intervals() == [Interval(0, 100)]
+
+
+@given(
+    occupation_sequences(),
+    st.floats(0, 100),
+    st.floats(0.5, 15),
+)
+@settings(max_examples=60)
+def test_nearest_fit_is_truly_nearest(spans, x, width):
+    """nearest_fit matches a brute-force scan over candidate positions."""
+    s = IntervalSet([Interval(0, 100)])
+    for lo, w in spans:
+        s.occupy(lo, lo + w)
+    got = s.nearest_fit(x, width)
+    # Brute force: best clamped position inside each remaining interval.
+    best = None
+    for iv in s.intervals():
+        if iv.length < width:
+            continue
+        pos = min(max(x, iv.lo), iv.hi - width)
+        if best is None or abs(pos - x) < abs(best - x) - 1e-12:
+            best = pos
+    if best is None:
+        assert got is None
+    else:
+        assert got is not None
+        assert abs(got - x) == pytest.approx(abs(best - x))

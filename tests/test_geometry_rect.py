@@ -1,0 +1,128 @@
+"""Tests for repro.geometry.rect."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Rect, euclidean_sq, manhattan
+
+
+class TestRectBasics:
+    def test_measures(self):
+        r = Rect(1.0, 2.0, 4.0, 8.0)
+        assert r.width == 3.0
+        assert r.height == 6.0
+        assert r.area == 18.0
+        assert r.center == (2.5, 5.0)
+
+    def test_invalid_extent_raises(self):
+        with pytest.raises(ValueError):
+            Rect(2.0, 0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            Rect(0.0, 2.0, 1.0, 1.0)
+
+    def test_degenerate(self):
+        assert Rect(0, 0, 0, 5).is_degenerate()
+        assert Rect(0, 0, 5, 0).is_degenerate()
+        assert not Rect(0, 0, 1, 1).is_degenerate()
+
+    def test_contains_point_half_open(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.contains_point(0, 0)
+        assert r.contains_point(1.99, 1.99)
+        assert not r.contains_point(2, 1)
+        assert not r.contains_point(1, 2)
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_rect(Rect(0, 0, 10, 10))
+        assert outer.contains_rect(Rect(2, 2, 5, 5))
+        assert not outer.contains_rect(Rect(2, 2, 11, 5))
+
+
+class TestRectOverlap:
+    def test_abutting_rects_do_not_overlap(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(2, 0, 4, 2)
+        assert not a.overlaps(b)
+        assert a.overlap_area(b) == 0.0
+
+    def test_overlapping(self):
+        a = Rect(0, 0, 3, 3)
+        b = Rect(2, 1, 5, 2)
+        assert a.overlaps(b)
+        assert a.overlap_area(b) == pytest.approx(1.0)
+        inter = a.intersection(b)
+        assert inter == Rect(2, 1, 3, 2)
+
+    def test_disjoint_intersection_none(self):
+        assert Rect(0, 0, 1, 1).intersection(Rect(5, 5, 6, 6)) is None
+
+    def test_degenerate_overlaps_nothing(self):
+        line = Rect(0, 0, 0, 5)
+        assert not line.overlaps(Rect(-1, -1, 1, 6))
+
+
+class TestRectConstruction:
+    def test_union_bbox(self):
+        assert Rect(0, 0, 1, 1).union_bbox(Rect(5, -2, 6, 0)) == Rect(0, -2, 6, 1)
+
+    def test_translated(self):
+        assert Rect(0, 0, 1, 1).translated(2, 3) == Rect(2, 3, 3, 4)
+
+    def test_inflated(self):
+        assert Rect(1, 1, 2, 2).inflated(1) == Rect(0, 0, 3, 3)
+
+    def test_bounding(self):
+        box = Rect.bounding([Rect(0, 0, 1, 1), Rect(4, 4, 5, 5), Rect(-1, 2, 0, 3)])
+        assert box == Rect(-1, 0, 5, 5)
+
+    def test_bounding_empty_raises(self):
+        with pytest.raises(ValueError):
+            Rect.bounding([])
+
+
+class TestDistances:
+    def test_distance_to_inside_point_is_zero(self):
+        assert Rect(0, 0, 4, 4).distance_to_point(2, 2) == 0.0
+
+    def test_distance_to_outside_point(self):
+        assert Rect(0, 0, 1, 1).distance_to_point(4, 5) == pytest.approx(math.hypot(3, 4))
+
+    def test_manhattan(self):
+        assert manhattan(0, 0, 3, 4) == 7.0
+
+    def test_euclidean_sq(self):
+        assert euclidean_sq(1, 1, 4, 5) == 25.0
+
+
+@given(
+    xl=st.floats(-100, 100),
+    yl=st.floats(-100, 100),
+    w1=st.floats(0, 50),
+    h1=st.floats(0, 50),
+    dx=st.floats(-100, 100),
+    dy=st.floats(-100, 100),
+    w2=st.floats(0, 50),
+    h2=st.floats(0, 50),
+)
+def test_overlap_symmetric_and_consistent_with_area(xl, yl, w1, h1, dx, dy, w2, h2):
+    """overlaps() is symmetric and true iff overlap_area() > 0."""
+    a = Rect(xl, yl, xl + w1, yl + h1)
+    b = Rect(xl + dx, yl + dy, xl + dx + w2, yl + dy + h2)
+    assert a.overlaps(b) == b.overlaps(a)
+    assert a.overlaps(b) == (a.overlap_area(b) > 0.0)
+
+
+@given(
+    xl=st.floats(-50, 50), yl=st.floats(-50, 50),
+    w=st.floats(0.1, 20), h=st.floats(0.1, 20),
+    px=st.floats(-100, 100), py=st.floats(-100, 100),
+)
+def test_distance_zero_iff_point_in_closure(xl, yl, w, h, px, py):
+    r = Rect(xl, yl, xl + w, yl + h)
+    d = r.distance_to_point(px, py)
+    inside_closed = xl <= px <= xl + w and yl <= py <= yl + h
+    assert (d == 0.0) == inside_closed

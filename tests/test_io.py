@@ -1,0 +1,191 @@
+"""Round-trip tests for Bookshelf and JSON I/O."""
+
+import os
+
+import pytest
+
+from repro.benchgen import make_benchmark
+from repro.io import load_design, read_design, save_design, write_design
+from repro.netlist import CellMaster, Pin, RailType
+
+
+@pytest.fixture
+def rich_design(empty_design, single_master, double_master_vss, double_master_vdd):
+    d = empty_design
+    d.name = "rich"
+    a = d.add_cell("a", single_master, 1.0, 0.0)
+    b = d.add_cell("b", double_master_vss, 10.0, 0.0)
+    c = d.add_cell("c", double_master_vdd, 20.0, 9.0)
+    f = d.add_cell("f", single_master, 30.0, 18.0, fixed=True)
+    a.x, a.y = 2.0, 9.0
+    a.flipped = True
+    d.add_net("n1", [Pin(cell=a, offset_x=1, offset_y=2), Pin(cell=b)])
+    d.add_net("n2", [Pin(cell=b), Pin(cell=c), Pin(cell=f, offset_x=0.5)])
+    return d
+
+
+def _same_design(a, b):
+    assert a.name == b.name
+    assert a.core.num_rows == b.core.num_rows
+    assert a.core.num_sites == b.core.num_sites
+    assert a.core.row_height == b.core.row_height
+    assert a.core.site_width == b.core.site_width
+    assert len(a.cells) == len(b.cells)
+    for ca, cb in zip(a.cells, b.cells):
+        assert ca.name == cb.name
+        assert ca.width == pytest.approx(cb.width)
+        assert ca.height_rows == cb.height_rows
+        assert ca.master.bottom_rail == cb.master.bottom_rail
+        assert ca.fixed == cb.fixed
+    assert len(a.nets) == len(b.nets)
+    for na, nb in zip(a.nets, b.nets):
+        assert na.degree() == nb.degree()
+
+
+class TestJsonRoundTrip:
+    def test_roundtrip_preserves_everything(self, rich_design, tmp_path):
+        path = str(tmp_path / "d.json")
+        save_design(rich_design, path)
+        loaded = load_design(path)
+        _same_design(rich_design, loaded)
+        # JSON keeps both GP and current positions and the flip flag.
+        assert loaded.cells[0].gp_x == 1.0
+        assert loaded.cells[0].x == 2.0
+        assert loaded.cells[0].flipped is True
+        assert loaded.total_hpwl() == pytest.approx(rich_design.total_hpwl())
+
+    def test_version_check(self, rich_design, tmp_path):
+        import json
+
+        from repro.io import design_to_dict, design_from_dict
+
+        data = design_to_dict(rich_design)
+        data["format_version"] = 999
+        with pytest.raises(ValueError):
+            design_from_dict(data)
+
+
+class TestBookshelfRoundTrip:
+    def test_roundtrip(self, rich_design, tmp_path):
+        aux = write_design(rich_design, str(tmp_path), "rich")
+        assert os.path.exists(aux)
+        for ext in ("nodes", "pl", "scl", "nets", "rails"):
+            assert os.path.exists(str(tmp_path / f"rich.{ext}"))
+        loaded = read_design(aux)
+        _same_design(rich_design, loaded)
+        # Bookshelf stores the current position (single position per cell).
+        assert loaded.cells[0].x == 2.0
+        assert loaded.cells[0].gp_x == 2.0
+        assert loaded.cells[0].flipped is True
+        assert loaded.cells[3].fixed is True
+
+    def test_roundtrip_gp_positions(self, rich_design, tmp_path):
+        aux = write_design(rich_design, str(tmp_path), "gp", use_gp=True)
+        loaded = read_design(aux)
+        assert loaded.cells[0].x == 1.0
+
+    def test_rails_preserved(self, rich_design, tmp_path):
+        aux = write_design(rich_design, str(tmp_path), "rich")
+        loaded = read_design(aux)
+        assert loaded.cells[1].master.bottom_rail is RailType.VSS
+        assert loaded.cells[2].master.bottom_rail is RailType.VDD
+
+    def test_generated_benchmark_roundtrip(self, tmp_path):
+        design = make_benchmark("fft_a", scale=0.01, seed=7)
+        aux = write_design(design, str(tmp_path), "fft_a")
+        loaded = read_design(aux)
+        _same_design(design, loaded)
+        assert loaded.gp_hpwl() == pytest.approx(design.total_hpwl(), rel=1e-6)
+
+    def test_missing_files_raise(self, tmp_path):
+        aux = tmp_path / "bad.aux"
+        aux.write_text("RowBasedPlacement : bad.nodes\n")
+        with pytest.raises(ValueError):
+            read_design(str(aux))
+
+    def test_non_uniform_rows_rejected(self, tmp_path):
+        scl = tmp_path / "x.scl"
+        scl.write_text(
+            "UCLA scl 1.0\nNumRows : 2\n"
+            "CoreRow Horizontal\n Coordinate : 0\n Height : 9\n"
+            " Sitewidth : 1\n SubrowOrigin : 0 NumSites : 10\nEnd\n"
+            "CoreRow Horizontal\n Coordinate : 9\n Height : 12\n"
+            " Sitewidth : 1\n SubrowOrigin : 0 NumSites : 10\nEnd\n"
+        )
+        nodes = tmp_path / "x.nodes"
+        nodes.write_text("UCLA nodes 1.0\nNumNodes : 0\nNumTerminals : 0\n")
+        pl = tmp_path / "x.pl"
+        pl.write_text("UCLA pl 1.0\n")
+        aux = tmp_path / "x.aux"
+        aux.write_text("RowBasedPlacement : x.nodes x.pl x.scl\n")
+        with pytest.raises(ValueError, match="non-uniform"):
+            read_design(str(aux))
+
+    def test_bad_height_rejected(self, tmp_path):
+        scl = tmp_path / "y.scl"
+        scl.write_text(
+            "UCLA scl 1.0\nNumRows : 1\n"
+            "CoreRow Horizontal\n Coordinate : 0\n Height : 9\n"
+            " Sitewidth : 1\n SubrowOrigin : 0 NumSites : 10\nEnd\n"
+        )
+        nodes = tmp_path / "y.nodes"
+        nodes.write_text("UCLA nodes 1.0\nNumNodes : 1\nNumTerminals : 0\n\tc0\t2\t13.5\n")
+        pl = tmp_path / "y.pl"
+        pl.write_text("UCLA pl 1.0\nc0 0 0 : N\n")
+        aux = tmp_path / "y.aux"
+        aux.write_text("RowBasedPlacement : y.nodes y.pl y.scl\n")
+        with pytest.raises(ValueError, match="multiple of the row"):
+            read_design(str(aux))
+
+
+class TestLefDefExport:
+    def test_lef_structure(self, rich_design, tmp_path):
+        from repro.io import write_lef
+
+        path = write_lef(rich_design, str(tmp_path / "lib.lef"))
+        text = open(path).read()
+        assert "SITE coresite" in text
+        assert text.count("MACRO ") == len(rich_design.masters)
+        # Even-height masters lose X symmetry (cannot flip).
+        assert "SYMMETRY Y ;" in text
+        assert "SYMMETRY X Y ;" in text
+        assert text.strip().endswith("END LIBRARY")
+
+    def test_def_structure(self, rich_design, tmp_path):
+        from repro.io import write_def
+
+        path = write_def(rich_design, str(tmp_path / "d.def"))
+        text = open(path).read()
+        assert f"DESIGN {rich_design.name} ;" in text
+        assert "DIEAREA ( 0 0 ) ( 60000 90000 ) ;" in text
+        assert text.count("ROW row_") == rich_design.core.num_rows
+        assert f"COMPONENTS {rich_design.num_cells} ;" in text
+        assert "+ FIXED" in text     # the fixed cell
+        assert "+ PLACED" in text
+        assert ") FS ;" in text      # the flipped cell
+        assert f"NETS {len(rich_design.nets)} ;" in text
+
+    def test_positions_scaled_by_dbu(self, rich_design, tmp_path):
+        from repro.io import write_def
+
+        path = write_def(rich_design, str(tmp_path / "d.def"), dbu=10)
+        text = open(path).read()
+        # Cell "a" sits at x=2.0 -> 20 at dbu=10.
+        assert "- a " in text
+        line = next(l for l in text.splitlines() if l.strip().startswith("- a "))
+        assert "( 20 " in line
+
+    def test_export_pair(self, rich_design, tmp_path):
+        from repro.io import export_lefdef
+
+        lef, deff = export_lefdef(
+            rich_design, str(tmp_path / "l.lef"), str(tmp_path / "d.def")
+        )
+        assert os.path.exists(lef) and os.path.exists(deff)
+
+    def test_def_without_nets(self, tmp_path, empty_design, single_master):
+        from repro.io import write_def
+
+        empty_design.add_cell("a", single_master, 0.0, 0.0)
+        path = write_def(empty_design, str(tmp_path / "n.def"))
+        assert "NETS" not in open(path).read()

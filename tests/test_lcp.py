@@ -1,0 +1,215 @@
+"""Tests for the LCP package: problem container, MMSIM, PSOR, fixed point.
+
+The key oracle: for symmetric positive definite A, the LCP has a unique
+solution; PSOR at tight tolerance serves as the reference, and every other
+solver must agree with it.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lcp import (
+    LCP,
+    ExactSplitting,
+    FixedPointOptions,
+    GaussSeidelSplitting,
+    JacobiSplitting,
+    MMSIMOptions,
+    SORSplitting,
+    fixed_point_solve,
+    make_kkt_lcp,
+    mmsim_solve,
+    psor_solve,
+    split_kkt_solution,
+)
+from repro.lcp.fixed_point import estimate_lambda_max
+
+
+def random_spd_lcp(n: int, seed: int) -> LCP:
+    rng = np.random.default_rng(seed)
+    m = rng.standard_normal((n, n))
+    A = m @ m.T + n * np.eye(n)
+    q = rng.standard_normal(n) * 5
+    return LCP(A=sp.csr_matrix(A), q=q)
+
+
+def random_hplus_lcp(n: int, seed: int) -> LCP:
+    """A strictly diagonally dominant symmetric matrix (an H+-matrix) —
+    the regime where Bai (2010) proves convergence of the modulus-based
+    Jacobi / Gauss-Seidel / SOR splittings."""
+    rng = np.random.default_rng(seed)
+    m = rng.uniform(-1.0, 1.0, size=(n, n))
+    A = 0.5 * (m + m.T)
+    np.fill_diagonal(A, 0.0)
+    dominance = np.abs(A).sum(axis=1) + rng.uniform(0.5, 2.0, size=n)
+    A += np.diag(dominance)
+    q = rng.standard_normal(n) * 5
+    return LCP(A=sp.csr_matrix(A), q=q)
+
+
+class TestLCPContainer:
+    def test_shapes_checked(self):
+        with pytest.raises(ValueError):
+            LCP(A=np.eye(3), q=np.zeros(2))
+
+    def test_residual_zero_at_solution(self):
+        # A = I, q = [-1, 2]: solution z = [1, 0] (w = [0, 2]).
+        lcp = LCP(A=sp.identity(2, format="csr"), q=np.array([-1.0, 2.0]))
+        z = np.array([1.0, 0.0])
+        assert lcp.natural_residual(z) == 0.0
+        assert lcp.complementarity_gap(z) == 0.0
+        assert lcp.is_solution(z)
+        assert not lcp.is_solution(np.array([0.5, 0.0]))
+
+    def test_infeasibility(self):
+        lcp = LCP(A=sp.identity(2, format="csr"), q=np.array([-1.0, 2.0]))
+        # z = [-0.5, 0]: violates z >= 0 by 0.5 and w = Az+q = [-1.5, 2]
+        # violates w >= 0 by 1.5; the worst violation is reported.
+        assert lcp.infeasibility(np.array([-0.5, 0.0])) == pytest.approx(1.5)
+
+    def test_make_kkt_lcp_structure(self):
+        H = np.eye(2)
+        B = np.array([[-1.0, 1.0]])
+        lcp = make_kkt_lcp(H, p=[-1.0, -2.0], B=B, b=[3.0])
+        A = lcp.A.toarray()
+        expected = np.array(
+            [[1, 0, 1], [0, 1, -1], [-1, 1, 0]], dtype=float
+        )
+        assert np.allclose(A, expected)
+        assert np.allclose(lcp.q, [-1, -2, -3])
+
+    def test_make_kkt_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            make_kkt_lcp(np.eye(2), p=[0, 0, 0], B=np.ones((1, 2)), b=[0])
+        with pytest.raises(ValueError):
+            make_kkt_lcp(np.eye(2), p=[0, 0], B=np.ones((1, 3)), b=[0])
+
+    def test_split_kkt_solution(self):
+        x, r = split_kkt_solution(np.array([1.0, 2.0, 3.0]), 2)
+        assert np.allclose(x, [1, 2])
+        assert np.allclose(r, [3])
+
+
+class TestPSOR:
+    def test_matches_closed_form(self):
+        lcp = LCP(A=sp.identity(2, format="csr"), q=np.array([-1.0, 2.0]))
+        res = psor_solve(lcp)
+        assert res.converged
+        assert np.allclose(res.z, [1.0, 0.0], atol=1e-8)
+
+    def test_requires_positive_diagonal(self):
+        A = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        with pytest.raises(ValueError):
+            psor_solve(LCP(A=A, q=np.zeros(2)))
+
+    def test_bad_relaxation(self):
+        from repro.lcp.psor import PSOROptions
+
+        with pytest.raises(ValueError):
+            PSOROptions(relax=2.5)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_spd_solution_valid(self, seed):
+        lcp = random_spd_lcp(8, seed)
+        res = psor_solve(lcp)
+        assert res.converged
+        assert lcp.natural_residual(res.z) < 1e-6
+
+
+class TestFixedPoint:
+    def test_matches_psor(self):
+        lcp = random_spd_lcp(10, 3)
+        ref = psor_solve(lcp)
+        res = fixed_point_solve(lcp)
+        assert res.converged
+        assert np.allclose(res.z, ref.z, atol=1e-5)
+
+    def test_explicit_step(self):
+        lcp = random_spd_lcp(6, 4)
+        lam = estimate_lambda_max(sp.csr_matrix(lcp.A))
+        res = fixed_point_solve(lcp, FixedPointOptions(step=0.5 / lam))
+        assert res.converged
+        assert lcp.natural_residual(res.z) < 1e-6
+
+    def test_bad_step(self):
+        lcp = random_spd_lcp(4, 5)
+        with pytest.raises(ValueError):
+            fixed_point_solve(lcp, FixedPointOptions(step=-1.0))
+
+
+class TestGenericMMSIM:
+    @pytest.mark.parametrize(
+        "splitting_cls", [JacobiSplitting, GaussSeidelSplitting, ExactSplitting]
+    )
+    def test_matches_psor_on_random_spd(self, splitting_cls):
+        lcp = random_hplus_lcp(12, 7)
+        ref = psor_solve(lcp)
+        splitting = splitting_cls(lcp.A)
+        res = mmsim_solve(lcp, splitting, MMSIMOptions(tol=1e-12, residual_tol=1e-8))
+        assert res.converged, res.message
+        assert np.allclose(res.z, ref.z, atol=1e-5)
+
+    def test_sor_splitting(self):
+        lcp = random_hplus_lcp(9, 11)
+        ref = psor_solve(lcp)
+        res = mmsim_solve(
+            lcp, SORSplitting(lcp.A, relax=1.2), MMSIMOptions(tol=1e-12, residual_tol=1e-8)
+        )
+        assert res.converged
+        assert np.allclose(res.z, ref.z, atol=1e-5)
+
+    def test_gamma_invariance(self):
+        lcp = random_spd_lcp(8, 13)
+        z1 = mmsim_solve(lcp, ExactSplitting(lcp.A), MMSIMOptions(gamma=1.0, tol=1e-12)).z
+        z2 = mmsim_solve(lcp, ExactSplitting(lcp.A), MMSIMOptions(gamma=4.0, tol=1e-12)).z
+        assert np.allclose(z1, z2, atol=1e-6)
+
+    def test_warm_start_converges_faster(self):
+        lcp = random_hplus_lcp(20, 17)
+        splitting = GaussSeidelSplitting(lcp.A)
+        cold = mmsim_solve(lcp, splitting, MMSIMOptions(tol=1e-10))
+        # Warm start from (a scaled version of) the solution.
+        s0 = cold.z  # z = (|s|+s)/gamma -> s = gamma*z/2 on the positive part
+        warm = mmsim_solve(lcp, splitting, MMSIMOptions(tol=1e-10), s0=s0)
+        assert warm.iterations <= cold.iterations
+
+    def test_max_iterations_reported(self):
+        lcp = random_hplus_lcp(10, 19)
+        res = mmsim_solve(
+            lcp, JacobiSplitting(lcp.A), MMSIMOptions(tol=1e-15, max_iterations=2)
+        )
+        assert not res.converged
+        assert res.iterations == 2
+        assert "max iterations" in res.message
+
+    def test_option_validation(self):
+        with pytest.raises(ValueError):
+            MMSIMOptions(gamma=0.0)
+        with pytest.raises(ValueError):
+            MMSIMOptions(max_iterations=0)
+
+    def test_history_recorded(self):
+        lcp = random_spd_lcp(6, 23)
+        res = mmsim_solve(
+            lcp, ExactSplitting(lcp.A), MMSIMOptions(record_history=True)
+        )
+        assert len(res.residual_history) == res.iterations
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_mmsim_solution_satisfies_lcp_conditions(seed):
+    """Property: any converged MMSIM run satisfies all three LCP conditions."""
+    lcp = random_hplus_lcp(6, seed)
+    res = mmsim_solve(
+        lcp, GaussSeidelSplitting(lcp.A), MMSIMOptions(tol=1e-12, residual_tol=1e-9)
+    )
+    assert res.converged
+    z = res.z
+    w = lcp.w_of(z)
+    assert np.all(z >= -1e-8)
+    assert np.all(w >= -1e-7)
+    assert abs(z @ w) < 1e-5

@@ -1,0 +1,139 @@
+"""Tests for the independent legality checker."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.legality import ViolationKind, assert_legal, check_legality
+from repro.netlist import CellMaster, Design, RailType
+from repro.rows import CoreArea
+
+
+def _legal_pair(design, single_master):
+    design.add_cell("a", single_master, 0.0, 0.0)
+    design.add_cell("b", single_master, 4.0, 0.0)
+
+
+class TestEachViolationKind:
+    def test_legal_design_passes(self, empty_design, single_master):
+        _legal_pair(empty_design, single_master)
+        report = check_legality(empty_design)
+        assert report.is_legal
+        assert report.summary().startswith("LEGAL")
+        assert_legal(empty_design)
+
+    def test_out_of_core(self, empty_design, single_master):
+        empty_design.add_cell("a", single_master, 58.0, 0.0)  # right edge 62 > 60
+        report = check_legality(empty_design)
+        kinds = {v.kind for v in report.violations}
+        assert ViolationKind.OUT_OF_CORE in kinds
+
+    def test_off_site(self, empty_design, single_master):
+        empty_design.add_cell("a", single_master, 1.5, 0.0)
+        report = check_legality(empty_design)
+        assert ViolationKind.OFF_SITE in {v.kind for v in report.violations}
+        # The same placement passes with site checking disabled.
+        assert check_legality(empty_design, check_sites=False).is_legal
+
+    def test_off_row(self, empty_design, single_master):
+        empty_design.add_cell("a", single_master, 0.0, 4.0)
+        report = check_legality(empty_design)
+        assert ViolationKind.OFF_ROW in {v.kind for v in report.violations}
+
+    def test_overlap(self, empty_design, single_master):
+        empty_design.add_cell("a", single_master, 0.0, 0.0)
+        empty_design.add_cell("b", single_master, 2.0, 0.0)
+        report = check_legality(empty_design)
+        overlaps = [v for v in report.violations if v.kind == ViolationKind.OVERLAP]
+        assert len(overlaps) == 1
+        assert overlaps[0].amount == pytest.approx(2.0)
+        assert sorted((overlaps[0].cell_id, overlaps[0].other_id)) == [0, 1]
+
+    def test_abutment_is_legal(self, empty_design, single_master):
+        empty_design.add_cell("a", single_master, 0.0, 0.0)
+        empty_design.add_cell("b", single_master, 4.0, 0.0)
+        assert check_legality(empty_design).is_legal
+
+    def test_rail_mismatch(self, empty_design, double_master_vss):
+        # Row 1's bottom rail is VDD; a VSS-bottom double there is illegal.
+        empty_design.add_cell("a", double_master_vss, 0.0, 9.0)
+        report = check_legality(empty_design)
+        assert ViolationKind.RAIL_MISMATCH in {v.kind for v in report.violations}
+
+    def test_rail_match_ok(self, empty_design, double_master_vss, double_master_vdd):
+        empty_design.add_cell("a", double_master_vss, 0.0, 0.0)
+        empty_design.add_cell("b", double_master_vdd, 10.0, 9.0)
+        assert check_legality(empty_design).is_legal
+
+    def test_multirow_overlap_detected_in_upper_row(
+        self, empty_design, double_master_vss, single_master
+    ):
+        empty_design.add_cell("d", double_master_vss, 0.0, 0.0)  # rows 0-1
+        empty_design.add_cell("s", single_master, 1.0, 9.0)      # row 1, overlaps
+        report = check_legality(empty_design)
+        assert ViolationKind.OVERLAP in {v.kind for v in report.violations}
+
+    def test_wide_cell_spanning_several_cells(self, empty_design):
+        wide = CellMaster("W", width=20.0, height_rows=1)
+        small = CellMaster("S2", width=2.0, height_rows=1)
+        empty_design.add_cell("w", wide, 0.0, 0.0)
+        empty_design.add_cell("s1", small, 4.0, 0.0)
+        empty_design.add_cell("s2", small, 10.0, 0.0)
+        report = check_legality(empty_design)
+        overlaps = [v for v in report.violations if v.kind == ViolationKind.OVERLAP]
+        # Both small cells overlap the wide one (s2 is not adjacent to w in
+        # sorted order — the sweep must still catch it).
+        assert len(overlaps) == 2
+
+    def test_assert_legal_raises_with_details(self, empty_design, single_master):
+        empty_design.add_cell("a", single_master, 0.0, 0.0)
+        empty_design.add_cell("b", single_master, 1.0, 0.0)
+        with pytest.raises(AssertionError, match="overlap"):
+            assert_legal(empty_design)
+
+
+class TestReportAccounting:
+    def test_count_by_kind_and_cells(self, empty_design, single_master):
+        empty_design.add_cell("a", single_master, 0.5, 0.0)  # off-site
+        empty_design.add_cell("b", single_master, 0.0, 9.0)
+        empty_design.add_cell("c", single_master, 2.0, 9.0)  # overlaps b
+        report = check_legality(empty_design)
+        counts = report.count_by_kind()
+        assert counts[ViolationKind.OFF_SITE] == 1
+        assert counts[ViolationKind.OVERLAP] == 1
+        assert report.violating_cell_ids() == [0, 1, 2]
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 56), st.integers(0, 9), st.integers(1, 6)),
+        min_size=2,
+        max_size=14,
+    )
+)
+@settings(max_examples=60)
+def test_overlap_detection_matches_bruteforce(placements):
+    """The sweep finds exactly the overlapping pairs a brute force finds."""
+    core = CoreArea(num_rows=10, row_height=9.0, num_sites=64)
+    design = Design(name="prop", core=core)
+    for i, (site, row, w) in enumerate(placements):
+        master = CellMaster(f"S{w}", width=float(w), height_rows=1)
+        design.add_cell(f"c{i}", master, float(site), row * 9.0)
+
+    report = check_legality(design)
+    got_pairs = {
+        (v.cell_id, v.other_id)
+        for v in report.violations
+        if v.kind == ViolationKind.OVERLAP
+    }
+    expected = set()
+    cells = design.cells
+    for i in range(len(cells)):
+        for j in range(i + 1, len(cells)):
+            a, b = cells[i], cells[j]
+            if a.y != b.y:
+                continue
+            if min(a.x + a.width, b.x + b.width) > max(a.x, b.x):
+                expected.add((i, j))
+    assert got_pairs == expected

@@ -1,0 +1,89 @@
+"""Tests for Lemke's complementary pivoting solver."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchgen import generate_benchmark
+from repro.core.qp_builder import build_legalization_qp
+from repro.core.row_assign import assign_rows
+from repro.core.subcells import split_cells
+from repro.lcp import LCP, LemkeOptions, lemke_solve, psor_solve
+from repro.qp import solve_reference
+
+
+def random_spd_lcp(n, seed):
+    rng = np.random.default_rng(seed)
+    m = rng.standard_normal((n, n))
+    A = m @ m.T + n * np.eye(n)
+    return LCP(A=sp.csr_matrix(A), q=rng.standard_normal(n) * 5)
+
+
+class TestLemke:
+    def test_trivial_nonnegative_q(self):
+        lcp = LCP(A=sp.identity(3, format="csr"), q=np.array([1.0, 0.0, 2.0]))
+        res = lemke_solve(lcp)
+        assert res.converged
+        assert res.iterations == 0
+        assert np.allclose(res.z, 0.0)
+
+    def test_closed_form_case(self):
+        lcp = LCP(A=sp.identity(2, format="csr"), q=np.array([-1.0, 2.0]))
+        res = lemke_solve(lcp)
+        assert res.converged
+        assert np.allclose(res.z, [1.0, 0.0], atol=1e-9)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_psor_on_spd(self, seed):
+        lcp = random_spd_lcp(10, seed)
+        lz = lemke_solve(lcp)
+        pz = psor_solve(lcp)
+        assert lz.converged
+        assert np.allclose(lz.z, pz.z, atol=1e-6)
+        # Lemke is exact: residual at machine precision.
+        assert lz.residual < 1e-8
+
+    def test_solves_kkt_lcp_directly(self):
+        """Unlike PSOR (positive diagonal required), Lemke processes the
+        paper's KKT LCP with its zero bottom-right block."""
+        design = generate_benchmark("fft_a", scale=0.002, seed=3)
+        model = split_cells(design, assign_rows(design))
+        lq = build_legalization_qp(design, model)
+        res = lemke_solve(lq.qp.kkt_lcp())
+        assert res.converged
+        x = res.z[: lq.num_variables]
+        ref = solve_reference(lq.qp, method="active_set")
+        assert lq.qp.objective(x) == pytest.approx(ref.objective, abs=1e-6)
+
+    def test_infeasible_lcp_reports_ray(self):
+        # w = -z + q with q < 0 has no solution (A = -I is not feasible
+        # for this q): Lemke must terminate on a ray, not loop.
+        lcp = LCP(A=sp.csr_matrix(-np.eye(2)), q=np.array([-1.0, -1.0]))
+        res = lemke_solve(lcp)
+        assert not res.converged
+        assert "ray" in res.message or "pivot" in res.message
+
+    def test_pivot_limit(self):
+        lcp = random_spd_lcp(12, 1)
+        res = lemke_solve(lcp, LemkeOptions(max_pivots=1))
+        assert not res.converged
+
+    def test_empty_problem(self):
+        lcp = LCP(A=sp.csr_matrix((0, 0)), q=np.zeros(0))
+        res = lemke_solve(lcp)
+        assert res.converged
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_lemke_solution_is_exact(seed):
+    lcp = random_spd_lcp(6, seed)
+    res = lemke_solve(lcp)
+    assert res.converged
+    z = res.z
+    w = lcp.w_of(z)
+    assert np.all(z >= -1e-9)
+    assert np.all(w >= -1e-7)
+    assert abs(z @ w) < 1e-6

@@ -1,0 +1,139 @@
+"""Tests for the generic QP-via-MMSIM front-end (the paper's concluding
+"generic solutions" claim, packaged as an API)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.benchgen import generate_benchmark
+from repro.core.qp_builder import build_legalization_qp
+from repro.core.row_assign import assign_rows
+from repro.core.splitting import SplittingParameters
+from repro.core.subcells import split_cells
+from repro.lcp import MMSIMOptions
+from repro.qp import (
+    GeneralSplitting,
+    QPProblem,
+    solve_qp_via_mmsim,
+    solve_reference,
+)
+
+
+def _chain_qp(targets, widths):
+    n = len(targets)
+    rows, cols, data, b = [], [], [], []
+    for i in range(n - 1):
+        rows += [i, i]
+        cols += [i, i + 1]
+        data += [-1.0, 1.0]
+        b.append(widths[i])
+    B = sp.csr_matrix((data, (rows, cols)), shape=(n - 1, n))
+    return QPProblem(
+        H=sp.identity(n, format="csr"),
+        p=-np.asarray(targets, dtype=float),
+        B=B,
+        b=np.asarray(b, dtype=float),
+    )
+
+
+def _legalization_qp(scale=0.004, seed=3):
+    design = generate_benchmark("fft_a", scale=scale, seed=seed)
+    model = split_cells(design, assign_rows(design))
+    return build_legalization_qp(design, model)
+
+
+class TestGenericFrontend:
+    def test_identity_hessian_chain(self):
+        qp = _chain_qp([5.0, 5.0], [4.0])
+        res = solve_qp_via_mmsim(qp)
+        assert res.converged
+        assert np.allclose(res.x, [3.0, 7.0], atol=1e-6)
+        assert res.kkt_residual < 1e-4
+
+    def test_matches_oracle_on_legalization_instance(self):
+        lq = _legalization_qp()
+        ref = solve_reference(lq.qp, method="active_set")
+        res = solve_qp_via_mmsim(lq.qp)
+        assert res.converged
+        assert res.objective == pytest.approx(ref.objective, abs=1e-4)
+
+    def test_woodbury_and_general_paths_agree(self):
+        lq = _legalization_qp(seed=5)
+        res_w = solve_qp_via_mmsim(lq.qp, E=lq.E, lam=lq.lam)
+        res_g = solve_qp_via_mmsim(lq.qp)
+        assert res_w.converged and res_g.converged
+        assert res_w.objective == pytest.approx(res_g.objective, abs=1e-5)
+        assert np.allclose(res_w.x, res_g.x, atol=1e-4)
+
+    def test_nonidentity_hessian(self):
+        """A weighted-displacement QP (general SPD H, not I + λEᵀE)."""
+        weights = np.array([1.0, 4.0, 2.0])
+        targets = np.array([10.0, 10.0, 10.0])
+        widths = [4.0, 4.0]
+        n = 3
+        H = sp.diags(weights).tocsr()
+        p = -(weights * targets)
+        rows, cols, data = [0, 0, 1, 1], [0, 1, 1, 2], [-1.0, 1.0, -1.0, 1.0]
+        B = sp.csr_matrix((data, (rows, cols)), shape=(2, n))
+        qp = QPProblem(H=H, p=p, B=B, b=np.array(widths))
+        res = solve_qp_via_mmsim(qp)
+        ref = solve_reference(qp, method="active_set")
+        assert res.converged
+        assert res.objective == pytest.approx(ref.objective, abs=1e-5)
+        # The heavy middle cell moves least.
+        moves = np.abs(res.x - targets)
+        assert moves[1] == min(moves)
+
+    def test_warm_start_accepted(self):
+        qp = _chain_qp([5.0, 5.0, 20.0], [4.0, 4.0])
+        cold = solve_qp_via_mmsim(qp)
+        warm = solve_qp_via_mmsim(qp, x0=cold.x)
+        assert warm.converged
+        assert warm.objective == pytest.approx(cold.objective, abs=1e-5)
+        # The primal warm start helps x but multipliers still start at 0,
+        # so allow a little slack on the iteration comparison.
+        assert warm.iterations <= cold.iterations + 5
+
+    def test_custom_parameters(self):
+        qp = _chain_qp([5.0, 5.0], [4.0])
+        res = solve_qp_via_mmsim(
+            qp,
+            params=SplittingParameters(beta=0.25, theta=0.25),
+            options=MMSIMOptions(tol=1e-10, residual_tol=1e-8),
+        )
+        assert res.converged
+        assert np.allclose(res.x, [3.0, 7.0], atol=1e-6)
+
+
+class TestGeneralSplitting:
+    def test_schur_tridiagonal_matches_dense(self):
+        lq = _legalization_qp(seed=7)
+        spl = GeneralSplitting(lq.qp.H, lq.qp.B)
+        H = lq.qp.H.toarray()
+        B = lq.qp.B.toarray()
+        S = B @ np.linalg.inv(H) @ B.T
+        D = spl.D.toarray()
+        m = S.shape[0]
+        for i in range(m):
+            for j in range(max(0, i - 1), min(m, i + 2)):
+                assert D[i, j] == pytest.approx(S[i, j], abs=1e-8)
+        # Off-tridiagonal entries are zero.
+        assert np.count_nonzero(D - np.tril(np.triu(D, -1), 1)) == 0
+
+    def test_mu_max_positive(self):
+        lq = _legalization_qp(seed=9)
+        spl = GeneralSplitting(lq.qp.H, lq.qp.B)
+        mu = spl.estimate_mu_max(iterations=30)
+        assert mu > 0
+        assert spl.theta_upper_bound(mu) > 0
+
+    def test_empty_constraints(self):
+        qp = QPProblem(
+            H=sp.identity(2, format="csr"),
+            p=np.array([-1.0, -2.0]),
+            B=sp.csr_matrix((0, 2)),
+            b=np.zeros(0),
+        )
+        res = solve_qp_via_mmsim(qp)
+        assert res.converged
+        assert np.allclose(res.x, [1.0, 2.0], atol=1e-6)

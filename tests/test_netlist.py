@@ -1,0 +1,137 @@
+"""Tests for repro.netlist: masters, instances, nets, Design."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.netlist import CellInstance, CellMaster, Design, Pin, RailType
+from repro.rows import CoreArea
+
+
+class TestCellMaster:
+    def test_valid_single(self):
+        m = CellMaster("S", width=4.0, height_rows=1)
+        assert not m.is_multi_row
+        assert not m.is_even_height
+
+    def test_valid_double_needs_rail(self):
+        with pytest.raises(ValueError):
+            CellMaster("D", width=4.0, height_rows=2)
+        m = CellMaster("D", width=4.0, height_rows=2, bottom_rail=RailType.VSS)
+        assert m.is_multi_row and m.is_even_height
+
+    def test_triple_is_odd(self):
+        m = CellMaster("T", width=4.0, height_rows=3)
+        assert m.is_multi_row and not m.is_even_height
+
+    def test_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            CellMaster("Z", width=0.0, height_rows=1)
+        with pytest.raises(ValueError):
+            CellMaster("Z", width=1.0, height_rows=0)
+
+    def test_rail_opposite(self):
+        assert RailType.VDD.opposite() is RailType.VSS
+        assert RailType.VSS.opposite() is RailType.VDD
+
+
+class TestCellInstance:
+    def test_geometry(self):
+        m = CellMaster("D", width=3.0, height_rows=2, bottom_rail=RailType.VSS)
+        c = CellInstance(id=0, name="c0", master=m, gp_x=5.0, gp_y=9.0)
+        assert c.x == 5.0 and c.y == 9.0  # starts at GP
+        assert c.rect(9.0) == Rect(5.0, 9.0, 8.0, 27.0)
+        assert c.height(9.0) == 18.0
+
+    def test_displacement(self):
+        m = CellMaster("S", width=2.0, height_rows=1)
+        c = CellInstance(id=0, name="c0", master=m, gp_x=1.0, gp_y=2.0)
+        c.x, c.y = 4.0, 6.0
+        assert c.displacement() == 7.0
+        assert c.displacement_sq() == 25.0
+
+    def test_reset_to_gp(self):
+        m = CellMaster("S", width=2.0, height_rows=1)
+        c = CellInstance(id=0, name="c0", master=m, gp_x=1.0, gp_y=2.0)
+        c.x, c.y, c.flipped, c.row_index = 9.0, 9.0, True, 3
+        c.reset_to_gp()
+        assert (c.x, c.y, c.flipped, c.row_index) == (1.0, 2.0, False, None)
+
+
+class TestNets:
+    def test_pin_positions(self):
+        m = CellMaster("S", width=2.0, height_rows=1)
+        c = CellInstance(id=0, name="c0", master=m, gp_x=10.0, gp_y=0.0)
+        c.x = 14.0
+        pin = Pin(cell=c, offset_x=1.0, offset_y=0.5)
+        assert pin.position() == (15.0, 0.5)
+        assert pin.gp_position() == (11.0, 0.5)
+
+    def test_fixed_pin(self):
+        pin = Pin(cell=None, offset_x=3.0, offset_y=4.0)
+        assert pin.position() == (3.0, 4.0)
+        assert pin.gp_position() == (3.0, 4.0)
+
+    def test_hpwl(self, empty_design):
+        m = CellMaster("S", width=2.0, height_rows=1)
+        a = empty_design.add_cell("a", m, 0.0, 0.0)
+        b = empty_design.add_cell("b", m, 10.0, 9.0)
+        net = empty_design.add_net(
+            "n", [Pin(cell=a, offset_x=1, offset_y=1), Pin(cell=b, offset_x=1, offset_y=1)]
+        )
+        assert net.hpwl() == pytest.approx(10.0 + 9.0)
+        b.x = 20.0
+        assert net.hpwl() == pytest.approx(20.0 + 9.0)
+        assert net.gp_hpwl() == pytest.approx(19.0)
+
+    def test_single_pin_net_zero(self, empty_design):
+        m = CellMaster("S", width=2.0, height_rows=1)
+        a = empty_design.add_cell("a", m, 0.0, 0.0)
+        net = empty_design.add_net("n", [Pin(cell=a)])
+        assert net.hpwl() == 0.0
+
+
+class TestDesign:
+    def test_add_and_lookup(self, empty_design, single_master):
+        cell = empty_design.add_cell("c0", single_master, 1.0, 2.0)
+        assert cell.id == 0
+        assert empty_design.cell_by_name("c0") is cell
+        with pytest.raises(KeyError):
+            empty_design.cell_by_name("nope")
+
+    def test_conflicting_master_raises(self, empty_design):
+        empty_design.add_master(CellMaster("M", width=2.0, height_rows=1))
+        with pytest.raises(ValueError):
+            empty_design.add_master(CellMaster("M", width=3.0, height_rows=1))
+
+    def test_count_by_height(self, small_mixed_design):
+        hist = small_mixed_design.count_by_height()
+        assert hist[1] == 25
+        assert hist[2] == 5
+
+    def test_density(self, core10x60, single_master):
+        design = Design(name="d", core=core10x60)
+        # one 4x9 cell in a 60x90 core
+        design.add_cell("c", single_master, 0, 0)
+        assert design.density() == pytest.approx(36.0 / 5400.0)
+
+    def test_snapshot_restore(self, small_mixed_design):
+        snap = small_mixed_design.snapshot_positions()
+        for cell in small_mixed_design.cells:
+            cell.x += 5
+        small_mixed_design.restore_positions(snap)
+        assert small_mixed_design.total_displacement() == 0.0
+
+    def test_snapshot_size_mismatch(self, small_mixed_design):
+        with pytest.raises(ValueError):
+            small_mixed_design.restore_positions([(0, 0, False, None)])
+
+    def test_clone_is_deep(self, small_mixed_design):
+        clone = small_mixed_design.clone()
+        clone.cells[0].x += 100
+        assert small_mixed_design.cells[0].x != clone.cells[0].x
+
+    def test_displacement_sites(self, core10x60, single_master):
+        design = Design(name="d", core=core10x60)
+        c = design.add_cell("c", single_master, 0.0, 0.0)
+        c.x = 3.0
+        assert design.total_displacement_sites() == pytest.approx(3.0)

@@ -1,0 +1,109 @@
+"""The paper's formal statements, checked as executable properties.
+
+* Proposition 1/2: the constraint matrix B of the (split) legalization QP
+  has full row rank with m < n, and H = Q + λEᵀE is symmetric positive
+  definite — on randomly generated mixed-height designs, not just the
+  worked examples.
+* Theorem 1: solutions of the KKT LCP are exactly the QP optima (both
+  directions, on small instances with independent solvers on each side).
+* Section 3.2's closed forms: EEᵀ = 2I for double-height-only designs, and
+  the Sherman–Morrison H⁻¹ expression.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchgen import generate_benchmark
+from repro.core.qp_builder import build_legalization_qp
+from repro.core.row_assign import assign_rows
+from repro.core.subcells import split_cells
+from repro.lcp import psor_solve
+from repro.qp import make_dual_lcp, solve_qp_active_set
+
+
+def _random_qp(seed, scale=0.004, triple_fraction=0.0):
+    design = generate_benchmark(
+        "fft_a", scale=scale, seed=seed, triple_fraction=triple_fraction
+    )
+    model = split_cells(design, assign_rows(design))
+    return build_legalization_qp(design, model)
+
+
+class TestPropositions:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_proposition_B_full_row_rank_and_m_lt_n(self, seed):
+        lq = _random_qp(seed)
+        B = lq.qp.B.toarray()
+        m, n = B.shape
+        assert m < n
+        if m:
+            assert np.linalg.matrix_rank(B) == m
+        # Exactly two nonzeros (−1, +1) per row (paper's B structure).
+        for row in B:
+            nz = row[row != 0]
+            assert sorted(nz.tolist()) == [-1.0, 1.0]
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_proposition_H_spd(self, seed):
+        lq = _random_qp(seed, triple_fraction=0.05)
+        H = lq.qp.H.toarray()
+        assert np.allclose(H, H.T)
+        assert np.min(np.linalg.eigvalsh(H)) > 0
+
+    def test_EEt_is_2I_for_double_only_designs(self):
+        """Section 3.2: with double-height cells only, EEᵀ is diagonal with
+        all entries 2 — the premise of the paper's closed-form D."""
+        lq = _random_qp(3)
+        EEt = (lq.E @ lq.E.T).toarray()
+        if EEt.size:
+            assert np.allclose(EEt, 2.0 * np.eye(EEt.shape[0]))
+
+    def test_EEt_not_diagonal_with_triples(self):
+        """Star-pattern rows of a 3-row cell share the first subcell, so
+        EEᵀ gains off-diagonal 1s — exactly why the implementation uses
+        the blockwise inverse instead of the paper's scalar formula."""
+        lq = _random_qp(3, triple_fraction=0.1)
+        EEt = (lq.E @ lq.E.T).toarray()
+        off = EEt - np.diag(np.diag(EEt))
+        assert np.any(off != 0)
+
+    def test_sherman_morrison_closed_form(self):
+        """(I + λEᵀE)⁻¹ = I − λ/(2λ+1) EᵀE for double-only designs."""
+        lq = _random_qp(5)
+        lam = lq.lam
+        H = lq.qp.H.toarray()
+        E = lq.E.toarray()
+        closed = np.eye(H.shape[0]) - (lam / (2 * lam + 1)) * (E.T @ E)
+        assert np.allclose(closed @ H, np.eye(H.shape[0]), atol=1e-8)
+
+
+class TestTheorem1:
+    """QP optimum <-> KKT LCP solution, both directions, small instances."""
+
+    def test_qp_optimum_solves_lcp(self):
+        lq = _random_qp(7, scale=0.002)
+        res = solve_qp_active_set(lq.qp)
+        assert res.converged
+        # Build the dual multipliers from the active-set result and verify
+        # the LCP conditions via the KKT residual.
+        x = res.x
+        # Multipliers for the B rows are the first num_constraints entries
+        # of the G = [B; I] multiplier vector.
+        r = res.multipliers[: lq.qp.num_constraints]
+        assert lq.qp.kkt_residual(x, r) < 1e-6
+
+    def test_lcp_solution_is_qp_optimum(self):
+        lq = _random_qp(9, scale=0.002)
+        # Solve the LCP side independently (dual PSOR), recover x, compare
+        # objective with the active-set QP optimum.
+        lcp, recover = make_dual_lcp(lq.qp)
+        res = psor_solve(lcp)
+        assert res.converged
+        x_lcp = recover(res.z)
+        ref = solve_qp_active_set(lq.qp)
+        assert lq.qp.objective(x_lcp) == pytest.approx(ref.objective, abs=1e-5)

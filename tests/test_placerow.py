@@ -1,0 +1,212 @@
+"""Tests for the Abacus PlaceRow cluster dynamics (and walls/pins)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.placerow import Cluster, RowPlacer, quadratic_cost
+
+
+def brute_force_row_optimum(targets, widths, xl=0.0, xh=math.inf):
+    """Optimal ordered placement via the dense active-set oracle.
+
+    min Σ (x_i − t_i)²  s.t.  x_{i+1} ≥ x_i + w_i, xl ≤ x_i, x_n + w_n ≤ xh.
+    """
+    from repro.qp.active_set import active_set_solve
+
+    n = len(targets)
+    H = np.eye(n)
+    p = -np.asarray(targets, dtype=float)
+    rows = []
+    g = []
+    for i in range(n - 1):
+        row = np.zeros(n)
+        row[i], row[i + 1] = -1.0, 1.0
+        rows.append(row)
+        g.append(widths[i])
+    first = np.zeros(n)
+    first[0] = 1.0
+    rows.append(first)
+    g.append(xl)
+    if math.isfinite(xh):
+        last = np.zeros(n)
+        last[-1] = -1.0
+        rows.append(last)
+        g.append(widths[-1] - xh)
+    G = np.vstack(rows)
+    x0 = np.empty(n)
+    x0[0] = xl
+    for i in range(1, n):
+        x0[i] = x0[i - 1] + widths[i - 1]
+    res = active_set_solve(H, p, G, np.asarray(g), x0)
+    assert res.converged
+    return res.x
+
+
+class TestClusterDynamics:
+    def test_single_cell_at_target(self):
+        placer = RowPlacer(0.0, 100.0)
+        x = placer.append(0, 10.0, 4.0)
+        assert x == 10.0
+
+    def test_two_overlapping_cells_average(self):
+        placer = RowPlacer(0.0, 100.0)
+        placer.append(0, 5.0, 4.0)
+        placer.append(1, 5.0, 4.0)
+        pos = dict(placer.positions())
+        assert pos[0] == pytest.approx(3.0)
+        assert pos[1] == pytest.approx(7.0)
+
+    def test_left_clamp(self):
+        placer = RowPlacer(0.0, 100.0)
+        placer.append(0, -10.0, 4.0)
+        assert placer.cell_position(0) == 0.0
+
+    def test_right_clamp(self):
+        placer = RowPlacer(0.0, 20.0)
+        placer.append(0, 50.0, 4.0)
+        assert placer.cell_position(0) == 16.0
+
+    def test_relaxed_right_boundary(self):
+        placer = RowPlacer(0.0, math.inf)
+        placer.append(0, 1e6, 4.0)
+        assert placer.cell_position(0) == 1e6
+
+    def test_cascading_collapse(self):
+        placer = RowPlacer(0.0, 100.0)
+        for i, t in enumerate([10.0, 10.0, 10.0]):
+            placer.append(i, t, 4.0)
+        pos = dict(placer.positions())
+        assert pos[0] == pytest.approx(6.0)
+        assert pos[1] == pytest.approx(10.0)
+        assert pos[2] == pytest.approx(14.0)
+
+    def test_frontier_and_used_width(self):
+        placer = RowPlacer(0.0, 100.0)
+        placer.append(0, 0.0, 4.0)
+        placer.append(1, 50.0, 6.0)
+        assert placer.frontier() == pytest.approx(56.0)
+        assert placer.used_width == pytest.approx(10.0)
+        assert placer.packed_frontier == pytest.approx(10.0)
+
+    def test_unknown_cell_raises(self):
+        placer = RowPlacer(0.0, 10.0)
+        with pytest.raises(KeyError):
+            placer.cell_position(42)
+
+    def test_invalid_extent(self):
+        with pytest.raises(ValueError):
+            RowPlacer(5.0, 5.0)
+
+
+class TestTrialAppend:
+    def test_trial_matches_commit(self):
+        rng = np.random.default_rng(3)
+        placer = RowPlacer(0.0, 200.0)
+        for i in range(30):
+            target = float(rng.uniform(0, 180))
+            width = float(rng.integers(2, 8))
+            predicted = placer.trial_append(target, width)
+            actual = placer.append(i, target, width)
+            assert predicted == pytest.approx(actual)
+
+    def test_trial_does_not_mutate(self):
+        placer = RowPlacer(0.0, 100.0)
+        placer.append(0, 5.0, 4.0)
+        before = [(c.x, c.w, c.e) for c in placer.clusters]
+        placer.trial_append(5.0, 4.0)
+        after = [(c.x, c.w, c.e) for c in placer.clusters]
+        assert before == after
+
+    def test_trial_infeasible_behind_wall(self):
+        placer = RowPlacer(0.0, 20.0)
+        placer.append_wall(0, 10.0, 8.0)  # wall [10, 18)
+        # Only 2 units remain right of the wall; width 4 cannot fit.
+        assert placer.trial_append(12.0, 4.0) is None
+        # Width 2 still fits.
+        assert placer.trial_append(12.0, 2.0) == pytest.approx(18.0)
+
+
+class TestWallsAndPins:
+    def test_wall_stops_collapse(self):
+        placer = RowPlacer(0.0, 100.0)
+        placer.append_wall(0, 10.0, 5.0)
+        placer.append(1, 8.0, 4.0)  # wants 8, must clear the wall at 15
+        assert placer.cell_position(1) == pytest.approx(15.0)
+
+    def test_wall_below_frontier_rejected(self):
+        placer = RowPlacer(0.0, 100.0)
+        placer.append(0, 10.0, 4.0)
+        with pytest.raises(ValueError):
+            placer.append_wall(1, 5.0, 3.0)
+
+    def test_pin_pushes_predecessors(self):
+        placer = RowPlacer(0.0, 100.0)
+        placer.append(0, 10.0, 4.0)   # at 10..14
+        placer.append_pinned(1, 8.0, 5.0)  # pin at 8 pushes cell 0 to 4
+        assert placer.cell_position(0) == pytest.approx(4.0)
+        assert placer.cell_position(1) == pytest.approx(8.0)
+
+    def test_pin_feasibility_bound(self):
+        placer = RowPlacer(0.0, 100.0)
+        placer.append(0, 2.0, 4.0)
+        with pytest.raises(ValueError):
+            placer.append_pinned(1, 3.0, 5.0)  # packed frontier is 4
+
+    def test_pin_beyond_row_end_rejected(self):
+        placer = RowPlacer(0.0, 20.0)
+        with pytest.raises(ValueError):
+            placer.append_pinned(0, 18.0, 5.0)
+
+
+class TestSnapToSites:
+    def test_snap_preserves_legality_and_grid(self):
+        rng = np.random.default_rng(11)
+        placer = RowPlacer(0.0, 300.0)
+        for i in range(40):
+            placer.append(i, float(rng.uniform(0, 280)), float(rng.integers(2, 7)))
+        placer.snap_to_sites(0.0, 1.0)
+        pos = sorted(placer.positions(), key=lambda t: t[1])
+        widths = {}
+        for cluster in placer.clusters:
+            for cid, _, w in cluster.members:
+                widths[cid] = w
+        for (id0, x0), (id1, x1) in zip(pos, pos[1:]):
+            assert x0 == pytest.approx(round(x0))
+            assert x1 >= x0 + widths[id0] - 1e-9
+
+    def test_snap_respects_walls(self):
+        placer = RowPlacer(0.0, 30.0)
+        placer.append(0, 5.6, 4.0)          # sits at 5.6, ends 9.6
+        placer.append_wall(1, 9.6, 5.0)     # wall flush at the frontier
+        placer.snap_to_sites(0.0, 1.0)
+        # Nearest-rounding 5.6 -> 6 would end at 10.0, inside the wall;
+        # the snap must round down instead.
+        assert placer.cell_position(0) == pytest.approx(5.0)
+
+
+class TestOptimality:
+    @given(
+        st.lists(st.floats(0, 90), min_size=1, max_size=10),
+        st.integers(0, 100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_placerow_matches_projected_descent(self, targets, seed):
+        """PlaceRow's quadratic objective equals an independent oracle."""
+        targets = sorted(targets)
+        rng = np.random.default_rng(seed)
+        widths = [float(rng.integers(1, 6)) for _ in targets]
+        placer = RowPlacer(0.0, 100.0)
+        for i, t in enumerate(targets):
+            placer.append(i, t, widths[i])
+        got = dict(placer.positions())
+        oracle = brute_force_row_optimum(targets, widths, 0.0, 100.0)
+        obj_got = sum((got[i] - targets[i]) ** 2 for i in range(len(targets)))
+        obj_ref = sum((oracle[i] - targets[i]) ** 2 for i in range(len(targets)))
+        assert obj_got == pytest.approx(obj_ref, abs=1e-6)
+
+    def test_quadratic_cost(self):
+        assert quadratic_cost(3.0, 4.0) == 25.0

@@ -1,0 +1,103 @@
+"""Tests for the exact right-boundary extension
+(``LegalizerConfig(enforce_right_boundary=True)``)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import PlaceRowLegalizer
+from repro.benchgen import make_benchmark
+from repro.core import LegalizerConfig, MMSIMLegalizer
+from repro.core.qp_builder import build_constraints, build_legalization_qp
+from repro.core.row_assign import assign_rows
+from repro.core.subcells import split_cells
+from repro.legality import check_legality
+from repro.netlist import CellMaster, Design
+from repro.rows import CoreArea
+
+
+def _right_pressed_design():
+    """Three wide cells whose QP optimum sticks out of a 40-site row."""
+    core = CoreArea(num_rows=2, row_height=9.0, num_sites=40)
+    design = Design(name="pressed", core=core)
+    wide = CellMaster("W10", width=10.0, height_rows=1)
+    for i in range(3):
+        design.add_cell(f"w{i}", wide, 15.0 + i * 10.0, 0.0)
+    return design
+
+
+class TestBoundaryRows:
+    def test_extra_rows_only_for_fitting_rows(self):
+        design = _right_pressed_design()
+        model = split_cells(design, assign_rows(design))
+        B_relaxed, b_relaxed, _ = build_constraints(model)
+        B_exact, b_exact, _ = build_constraints(model, right_boundary=40.0)
+        assert B_exact.shape[0] == B_relaxed.shape[0] + 1
+        # The boundary row: −1 on the last variable, b = w_last − W.
+        boundary = B_exact.toarray()[-1]
+        assert sorted(boundary.tolist()) == [-1.0, 0.0, 0.0]
+        assert b_exact[-1] == pytest.approx(10.0 - 40.0)
+
+    def test_overfull_row_keeps_relaxation(self):
+        core = CoreArea(num_rows=1, row_height=9.0, num_sites=20)
+        design = Design(name="overfull", core=core)
+        wide = CellMaster("W12", width=12.0, height_rows=1)
+        design.add_cell("a", wide, 0.0, 0.0)
+        design.add_cell("b", wide, 8.0, 0.0)  # 24 > 20: infeasible with bound
+        model = split_cells(design, assign_rows(design))
+        B_exact, _, _ = build_constraints(model, right_boundary=20.0)
+        B_relaxed, _, _ = build_constraints(model)
+        assert B_exact.shape[0] == B_relaxed.shape[0]  # no boundary row added
+
+    def test_full_row_rank_preserved(self):
+        design = make_benchmark("fft_a", scale=0.004, seed=2, with_nets=False)
+        model = split_cells(design, assign_rows(design))
+        lq = build_legalization_qp(design, model, enforce_right_boundary=True)
+        B = lq.qp.B.toarray()
+        assert np.linalg.matrix_rank(B) == B.shape[0]
+
+
+class TestBoundaryModeFlow:
+    def test_no_spill_when_enforced(self):
+        design = _right_pressed_design()
+        result = MMSIMLegalizer(
+            LegalizerConfig(enforce_right_boundary=True, tol=1e-8,
+                            residual_tol=1e-6)
+        ).legalize(design)
+        assert result.converged
+        # The QP itself kept every cell inside: no Tetris repairs needed.
+        assert result.num_illegal == 0
+        assert check_legality(design).is_legal
+        xs = sorted(c.x for c in design.cells)
+        assert xs == [10.0, 20.0, 30.0]
+
+    def test_relaxed_mode_spills_and_repairs(self):
+        design = _right_pressed_design()
+        result = MMSIMLegalizer(
+            LegalizerConfig(enforce_right_boundary=False)
+        ).legalize(design)
+        assert result.num_illegal >= 1  # the spill the paper's Tetris fixes
+        assert check_legality(design).is_legal
+
+    def test_matches_clamped_placerow_on_single_row_designs(self):
+        """With exact boundaries the MMSIM must equal classic (clamping)
+        PlaceRow — a strengthened Section 5.3 check."""
+        d_mm = make_benchmark("fft_2", scale=0.01, seed=5, mixed=False,
+                              with_nets=False)
+        res_mm = MMSIMLegalizer(
+            LegalizerConfig(enforce_right_boundary=True, tol=1e-8,
+                            residual_tol=1e-6)
+        ).legalize(d_mm)
+        d_pr = make_benchmark("fft_2", scale=0.01, seed=5, mixed=False,
+                              with_nets=False)
+        res_pr = PlaceRowLegalizer().legalize(d_pr)
+        assert res_mm.displacement.total_manhattan_sites == pytest.approx(
+            res_pr.displacement.total_manhattan_sites, abs=1e-6
+        )
+
+    def test_mixed_design_end_to_end(self):
+        design = make_benchmark("des_perf_1", scale=0.01, seed=7)
+        result = MMSIMLegalizer(
+            LegalizerConfig(enforce_right_boundary=True)
+        ).legalize(design)
+        assert result.converged
+        assert check_legality(design).is_legal

@@ -1,0 +1,70 @@
+"""Tests for nearest-correct-row assignment (flow stage 1)."""
+
+import pytest
+
+from repro.core.row_assign import assign_rows
+from repro.netlist import CellMaster, Design, RailType
+
+
+class TestAssignRows:
+    def test_single_goes_to_nearest_row(self, empty_design, single_master):
+        c = empty_design.add_cell("c", single_master, 5.0, 13.0)  # rows at 9, 18
+        assignment = assign_rows(empty_design)
+        assert c.row_index == 1
+        assert c.y == 9.0
+        assert c.x == 5.0  # x untouched
+        assert assignment.y_displacement == pytest.approx(4.0)
+
+    def test_double_respects_rail(self, empty_design, double_master_vdd):
+        # GP y exactly at row 2 (bottom rail VSS) — a VDD-bottom double must
+        # go to row 1 or 3 instead.
+        c = empty_design.add_cell("c", double_master_vdd, 5.0, 18.0)
+        assign_rows(empty_design)
+        assert c.row_index in (1, 3)
+
+    def test_flipping_recorded_for_odd_cells(self, empty_design):
+        m = CellMaster("S", width=2.0, height_rows=1, bottom_rail=RailType.VSS)
+        a = empty_design.add_cell("a", m, 0.0, 0.0)    # row 0: VSS, no flip
+        b = empty_design.add_cell("b", m, 10.0, 9.0)   # row 1: VDD, flip
+        assignment = assign_rows(empty_design)
+        assert not a.flipped
+        assert b.flipped
+        assert assignment.num_flipped == 1
+
+    def test_even_height_cells_never_marked_flipped(self, empty_design, double_master_vss):
+        c = empty_design.add_cell("c", double_master_vss, 0.0, 0.0)
+        assign_rows(empty_design)
+        assert not c.flipped
+
+    def test_row_ordering_by_gp_x(self, empty_design, single_master):
+        c2 = empty_design.add_cell("c2", single_master, 20.0, 0.0)
+        c0 = empty_design.add_cell("c0", single_master, 5.0, 0.0)
+        c1 = empty_design.add_cell("c1", single_master, 10.0, 0.0)
+        assignment = assign_rows(empty_design)
+        assert [c.name for c in assignment.rows[0]] == ["c0", "c1", "c2"]
+
+    def test_tie_broken_by_id(self, empty_design, single_master):
+        a = empty_design.add_cell("a", single_master, 5.0, 0.0)
+        b = empty_design.add_cell("b", single_master, 5.0, 0.0)
+        assignment = assign_rows(empty_design)
+        assert [c.name for c in assignment.rows[0]] == ["a", "b"]
+
+    def test_occupied_includes_multirow_in_both_rows(
+        self, empty_design, double_master_vss, single_master
+    ):
+        d = empty_design.add_cell("d", double_master_vss, 0.0, 0.0)
+        s = empty_design.add_cell("s", single_master, 10.0, 9.0)
+        assignment = assign_rows(empty_design)
+        assert [c.name for c in assignment.cells_in_row(0)] == ["d"]
+        assert [c.name for c in assignment.cells_in_row(1)] == ["d", "s"]
+        assert assignment.cells_in_row(5) == []
+
+    def test_fixed_cells_ignored(self, empty_design, single_master):
+        empty_design.add_cell("f", single_master, 0.0, 4.0, fixed=True)
+        assignment = assign_rows(empty_design)
+        assert assignment.rows == {}
+
+    def test_clamps_to_core(self, empty_design, single_master):
+        c = empty_design.add_cell("c", single_master, 0.0, 1000.0)
+        assign_rows(empty_design)
+        assert c.row_index == 9  # top row

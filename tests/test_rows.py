@@ -1,0 +1,195 @@
+"""Tests for repro.rows: RailScheme, CoreArea, SiteMap."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist.cell import CellInstance, CellMaster, RailType
+from repro.rows import CoreArea, RailScheme, SiteMap
+
+
+class TestRailScheme:
+    def test_alternation(self):
+        rs = RailScheme(bottom_rail_of_row_0=RailType.VSS)
+        assert rs.bottom_rail(0) is RailType.VSS
+        assert rs.bottom_rail(1) is RailType.VDD
+        assert rs.bottom_rail(2) is RailType.VSS
+        assert rs.top_rail(0) is RailType.VDD
+
+    def test_odd_height_any_row_is_correct(self):
+        rs = RailScheme()
+        single = CellMaster("S", width=1, height_rows=1, bottom_rail=RailType.VDD)
+        triple = CellMaster("T", width=1, height_rows=3, bottom_rail=RailType.VSS)
+        for row in range(6):
+            assert rs.row_is_correct(single, row)
+            assert rs.row_is_correct(triple, row)
+
+    def test_even_height_restricted_to_matching_rows(self):
+        rs = RailScheme(bottom_rail_of_row_0=RailType.VSS)
+        d_vss = CellMaster("D", width=1, height_rows=2, bottom_rail=RailType.VSS)
+        d_vdd = CellMaster("E", width=1, height_rows=2, bottom_rail=RailType.VDD)
+        assert [r for r in range(6) if rs.row_is_correct(d_vss, r)] == [0, 2, 4]
+        assert [r for r in range(6) if rs.row_is_correct(d_vdd, r)] == [1, 3, 5]
+
+    def test_needs_flip_odd_cells(self):
+        rs = RailScheme(bottom_rail_of_row_0=RailType.VSS)
+        single = CellMaster("S", width=1, height_rows=1, bottom_rail=RailType.VSS)
+        assert not rs.needs_flip(single, 0)
+        assert rs.needs_flip(single, 1)
+
+    def test_needs_flip_even_mismatch_raises(self):
+        rs = RailScheme()
+        d_vss = CellMaster("D", width=1, height_rows=2, bottom_rail=RailType.VSS)
+        with pytest.raises(ValueError):
+            rs.needs_flip(d_vss, 1)
+
+    def test_rail_agnostic_never_flips(self):
+        rs = RailScheme()
+        s = CellMaster("S", width=1, height_rows=1)
+        assert not rs.needs_flip(s, 0)
+        assert not rs.needs_flip(s, 1)
+
+    def test_nearest_correct_row_even_height(self):
+        rs = RailScheme(bottom_rail_of_row_0=RailType.VSS)
+        d_vdd = CellMaster("D", width=1, height_rows=2, bottom_rail=RailType.VDD)
+        # y exactly on row 2's bottom (rail VSS, wrong): nearest correct is 1 or 3.
+        row = rs.nearest_correct_row(d_vdd, y=2 * 9.0, row_y0=0.0, row_height=9.0, num_rows=10)
+        assert row in (1, 3)
+
+    def test_nearest_correct_row_tie_break_by_distance(self):
+        rs = RailScheme(bottom_rail_of_row_0=RailType.VSS)
+        d_vdd = CellMaster("D", width=1, height_rows=2, bottom_rail=RailType.VDD)
+        # y slightly above row 2 -> row 3 is strictly nearer than row 1.
+        row = rs.nearest_correct_row(d_vdd, y=2 * 9.0 + 2.0, row_y0=0.0, row_height=9.0, num_rows=10)
+        assert row == 3
+
+    def test_no_legal_row_returns_none(self):
+        rs = RailScheme()
+        tall = CellMaster("T", width=1, height_rows=5)
+        assert rs.nearest_correct_row(tall, 0.0, 0.0, 9.0, num_rows=4) is None
+
+
+class TestCoreArea:
+    def test_extents(self, core10x60):
+        assert core10x60.xh == 60.0
+        assert core10x60.yh == 90.0
+        assert core10x60.width == 60.0
+        assert core10x60.height == 90.0
+
+    def test_row_y_and_back(self, core10x60):
+        assert core10x60.row_y(3) == 27.0
+        assert core10x60.row_of_y(27.0) == 3
+        assert core10x60.row_of_y(30.0) == 3
+        assert core10x60.row_of_y(32.0) == 4
+        with pytest.raises(IndexError):
+            core10x60.row_y(10)
+
+    def test_row_of_y_clamps(self, core10x60):
+        assert core10x60.row_of_y(-100.0) == 0
+        assert core10x60.row_of_y(1e6) == 9
+
+    def test_snap_and_clamp(self, core10x60):
+        assert core10x60.snap_x(3.4) == 3.0
+        assert core10x60.clamp_site_x(-2.0, 4.0) == 0.0
+        assert core10x60.clamp_site_x(59.0, 4.0) == 56.0
+
+    def test_nearest_correct_row_raises_for_too_tall(self):
+        core = CoreArea(num_rows=2, row_height=9.0, num_sites=10)
+        tall = CellMaster("T", width=1, height_rows=3)
+        with pytest.raises(ValueError):
+            core.nearest_correct_row(tall, 0.0)
+
+    def test_correct_rows_double(self, core10x60, double_master_vss):
+        assert core10x60.correct_rows(double_master_vss) == [0, 2, 4, 6, 8]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoreArea(num_rows=0)
+        with pytest.raises(ValueError):
+            CoreArea(num_sites=0)
+        with pytest.raises(ValueError):
+            CoreArea(row_height=0.0)
+
+
+class TestSiteMap:
+    def _cell(self, master, cid=0):
+        return CellInstance(id=cid, name=f"c{cid}", master=master)
+
+    def test_occupy_and_free_queries(self, core10x60, single_master):
+        sm = SiteMap(core10x60)
+        assert sm.is_free(0, 0, 60)
+        cell = self._cell(single_master)
+        sm.occupy_cell(cell, 0, 10)
+        assert not sm.is_free(0, 10, 4)
+        assert sm.is_free(0, 0, 10)
+        assert sm.is_free(0, 14, 46)
+        sm.release_cell(cell, 0, 10)
+        assert sm.is_free(0, 0, 60)
+
+    def test_multirow_footprint(self, core10x60, double_master_vss):
+        sm = SiteMap(core10x60)
+        cell = self._cell(double_master_vss)
+        sm.occupy_cell(cell, 2, 5)
+        assert not sm.is_free(2, 5, 3)
+        assert not sm.is_free(3, 5, 3)
+        assert sm.is_free(4, 5, 3)
+        assert not sm.footprint_free(2, 5, 3, 2)
+        assert sm.footprint_free(4, 5, 3, 2)
+
+    def test_out_of_range_queries_false(self, core10x60):
+        sm = SiteMap(core10x60)
+        assert not sm.is_free(-1, 0, 1)
+        assert not sm.is_free(0, -1, 1)
+        assert not sm.is_free(0, 58, 5)
+        assert not sm.footprint_free(9, 0, 1, 2)
+
+    def test_nearest_fit_in_row(self, core10x60, single_master):
+        sm = SiteMap(core10x60)
+        blocker = self._cell(single_master, cid=1)
+        sm.occupy_cell(blocker, 0, 10)  # occupies [10, 14)
+        # Target inside the blocked span: nearest fits are at 6 or 14.
+        got = sm.nearest_fit_in_row(0, 11.0, 4.0)
+        assert got in (6, 14)
+
+    def test_nearest_fit_multirow_intersects_rows(self, core10x60, double_master_vss, single_master):
+        sm = SiteMap(core10x60)
+        sm.occupy_cell(self._cell(single_master, 1), 0, 0)   # row 0: [0,4)
+        sm.occupy_cell(self._cell(single_master, 2), 1, 2)   # row 1: [2,6)
+        got = sm.nearest_fit_in_row(0, 0.0, 3.0, height_rows=2)
+        assert got == 6  # first column where both rows are free
+
+    def test_nearest_fit_over_rows(self, core10x60, double_master_vss):
+        sm = SiteMap(core10x60)
+        best = sm.nearest_fit(10.0, 19.0, 3.0, 2, candidate_rows=[0, 2, 4])
+        assert best is not None
+        row, site, cost = best
+        assert row == 2  # row 2 bottom y=18 is nearest to 19
+        assert site == 10
+
+    def test_sites_of_width_rounds_up(self, core10x60):
+        sm = SiteMap(core10x60)
+        assert sm.sites_of_width(3.0) == 3
+        assert sm.sites_of_width(3.2) == 4
+        assert sm.sites_of_width(0.4) == 1
+
+
+@given(st.lists(st.tuples(st.integers(0, 50), st.integers(1, 6)), min_size=1, max_size=12))
+@settings(max_examples=50)
+def test_sitemap_occupy_matches_bruteforce(placements):
+    """SiteMap free/occupied state equals a boolean-array model."""
+    core = CoreArea(num_rows=1, row_height=9.0, num_sites=60)
+    sm = SiteMap(core)
+    taken = [False] * 60
+    for lo, width in placements:
+        hi = lo + width
+        if hi > 60:
+            continue
+        free = not any(taken[lo:hi])
+        assert sm.is_free(0, lo, width) == free
+        if free:
+            sm.occupy(0, lo, width)
+            for i in range(lo, hi):
+                taken[i] = True
+    # Final free intervals agree everywhere.
+    for site in range(60):
+        assert sm.is_free(0, site, 1) == (not taken[site])

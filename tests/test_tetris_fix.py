@@ -1,0 +1,94 @@
+"""Tests for the Tetris-like allocation stage (flow stage 5)."""
+
+import pytest
+
+from repro.core.tetris_fix import TetrisFixStats, tetris_allocate
+from repro.legality import check_legality
+from repro.netlist import CellMaster, Design, RailType
+from repro.rows import CoreArea
+
+
+class TestSnapAndCommit:
+    def test_already_legal_design_untouched(self, empty_design, single_master):
+        a = empty_design.add_cell("a", single_master, 3.0, 0.0)
+        b = empty_design.add_cell("b", single_master, 10.0, 9.0)
+        for cell in (a, b):
+            cell.row_index = empty_design.core.row_of_y(cell.y)
+        stats = tetris_allocate(empty_design)
+        assert stats.num_illegal == 0
+        assert (a.x, a.y) == (3.0, 0.0)
+        assert (b.x, b.y) == (10.0, 9.0)
+
+    def test_fractional_positions_snapped(self, empty_design, single_master):
+        a = empty_design.add_cell("a", single_master, 3.4, 0.0)
+        a.row_index = 0
+        stats = tetris_allocate(empty_design)
+        assert a.x == 3.0
+        assert stats.num_illegal == 0
+
+    def test_overlap_resolved(self, empty_design, single_master):
+        a = empty_design.add_cell("a", single_master, 3.0, 0.0)
+        b = empty_design.add_cell("b", single_master, 4.0, 0.0)  # overlaps a
+        a.row_index = b.row_index = 0
+        stats = tetris_allocate(empty_design)
+        assert stats.num_illegal == 1
+        assert check_legality(empty_design).is_legal
+        # b moves to the nearest free site right of a (or left).
+        assert b.x in (7.0, 0.0) or b.y != 0.0
+
+    def test_out_of_right_boundary_fixed(self, empty_design, single_master):
+        a = empty_design.add_cell("a", single_master, 58.0, 0.0)  # ends at 62 > 60
+        a.row_index = 0
+        stats = tetris_allocate(empty_design)
+        assert stats.num_illegal == 1
+        assert check_legality(empty_design).is_legal
+        assert a.x == 56.0
+
+    def test_multirow_footprint_respected(self, empty_design, double_master_vss, single_master):
+        d = empty_design.add_cell("d", double_master_vss, 0.0, 0.0)
+        s = empty_design.add_cell("s", single_master, 1.0, 9.0)  # overlaps d's top
+        d.row_index = 0
+        s.row_index = 1
+        stats = tetris_allocate(empty_design)
+        assert check_legality(empty_design).is_legal
+
+    def test_rail_respected_when_fixing_double(self, empty_design, double_master_vss):
+        # Two identical doubles at the same spot: the loser must land on a
+        # VSS row (0, 2, ...), never row 1/3.
+        a = empty_design.add_cell("a", double_master_vss, 10.0, 0.0)
+        b = empty_design.add_cell("b", double_master_vss, 10.0, 0.0)
+        a.row_index = b.row_index = 0
+        tetris_allocate(empty_design)
+        assert check_legality(empty_design).is_legal
+        assert b.row_index % 2 == 0 or a.row_index % 2 == 0
+
+    def test_fixed_cells_block(self, empty_design, single_master):
+        empty_design.add_cell("f", single_master, 4.0, 0.0, fixed=True)
+        a = empty_design.add_cell("a", single_master, 4.0, 0.0)
+        a.row_index = 0
+        stats = tetris_allocate(empty_design)
+        assert stats.num_illegal == 1
+        assert check_legality(empty_design).is_legal
+
+    def test_stats_fields(self, empty_design, single_master):
+        a = empty_design.add_cell("a", single_master, 3.0, 0.0)
+        b = empty_design.add_cell("b", single_master, 4.0, 0.0)
+        a.row_index = b.row_index = 0
+        stats = tetris_allocate(empty_design)
+        assert stats.num_cells == 2
+        assert stats.illegal_cell_ids == [b.id] or stats.illegal_cell_ids == [a.id]
+        assert stats.illegal_fraction == pytest.approx(0.5)
+        assert stats.fix_displacement > 0
+
+    def test_unplaced_when_core_overfull(self):
+        core = CoreArea(num_rows=1, row_height=9.0, num_sites=8)
+        design = Design(name="tiny", core=core)
+        m = CellMaster("S6", width=6.0, height_rows=1)
+        a = design.add_cell("a", m, 0.0, 0.0)
+        b = design.add_cell("b", m, 0.0, 0.0)
+        a.row_index = b.row_index = 0
+        stats = tetris_allocate(design)
+        assert stats.num_unplaced == 1
+
+    def test_empty_stats_fraction(self):
+        assert TetrisFixStats().illegal_fraction == 0.0
