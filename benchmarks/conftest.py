@@ -8,14 +8,21 @@ variable ``REPRO_BENCH_CELL_CAP`` to raise the per-benchmark cell budget
 
 Result tables are printed to stdout *and* written to
 ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can quote them.
+
+A telemetry session is active for the whole benchmark run (see
+``bench_telemetry`` below): stage timings and solver iteration counts are
+aggregated into machine-readable ``benchmarks/results/BENCH_telemetry.json``
+alongside the text tables.
 """
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
 
+from repro import telemetry
 from repro.benchgen.profiles import BenchmarkProfile
 
 #: Default per-benchmark movable-cell budget (override via env).
@@ -44,3 +51,30 @@ def write_result(name: str, text: str) -> str:
 def results_dir() -> str:
     os.makedirs(RESULTS_DIR, exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_telemetry():
+    """Collect telemetry for the whole benchmark session and write
+    ``results/BENCH_telemetry.json`` (stage timings + solver iteration
+    counts + metrics) when the run ends."""
+    tel = telemetry.TelemetrySession(event_limit=200000)
+    previous = telemetry.set_session(tel)
+    try:
+        yield tel
+    finally:
+        telemetry.set_session(previous)
+        events = tel.events.events() if tel.events is not None else []
+        payload = {
+            "schema": telemetry.SCHEMA,
+            "stage_seconds": telemetry.aggregate_stage_seconds(tel),
+            "solver_iterations": telemetry.solver_iteration_counts(events),
+            "metrics": tel.metrics.snapshot(),
+            "num_spans": sum(1 for _ in tel.tracer.walk()),
+            "num_events": len(events),
+            "events_dropped": tel.events.dropped if tel.events else 0,
+        }
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, "BENCH_telemetry.json")
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)

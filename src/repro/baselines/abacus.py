@@ -24,7 +24,7 @@ from repro.baselines.common import BaselineResult, finish_result
 from repro.baselines.placerow import RowPlacer, quadratic_cost
 from repro.core.row_assign import assign_rows
 from repro.netlist.design import Design
-from repro.utils.timer import StageTimer
+from repro.telemetry import active_tracer
 
 
 class PlaceRowLegalizer:
@@ -41,31 +41,35 @@ class PlaceRowLegalizer:
         self.relax_right_boundary = relax_right_boundary
 
     def legalize(self, design: Design) -> BaselineResult:
-        timer = StageTimer()
+        tracer = active_tracer()
         core = design.core
-        with timer.stage("row_assign"):
-            assignment = assign_rows(design)
+        with tracer.span(
+            "placerow_legalize", design=design.name, algorithm=self.name
+        ) as root:
+            with tracer.span("row_assign"):
+                assignment = assign_rows(design)
 
-        with timer.stage("placerow"):
-            xh = math.inf if self.relax_right_boundary else core.xh
-            failed = 0
-            for row, cells in sorted(assignment.rows.items()):
-                multi = [c for c in cells if c.height_rows > 1]
-                if multi:
-                    raise ValueError(
-                        "PlaceRowLegalizer only supports single-row-height "
-                        f"designs; row {row} holds multi-row cell "
-                        f"{multi[0].name!r} (use the MMSIM flow instead)"
-                    )
-                placer = RowPlacer(core.xl, xh)
-                for cell in cells:  # already in GP-x order
-                    placer.append(cell.id, cell.gp_x, cell.width)
-                placer.snap_to_sites(core.xl, core.site_width)
-                for cid, x in placer.positions():
-                    design.cells[cid].x = x
+            with tracer.span("placerow"):
+                xh = math.inf if self.relax_right_boundary else core.xh
+                failed = 0
+                for row, cells in sorted(assignment.rows.items()):
+                    multi = [c for c in cells if c.height_rows > 1]
+                    if multi:
+                        raise ValueError(
+                            "PlaceRowLegalizer only supports single-row-height "
+                            f"designs; row {row} holds multi-row cell "
+                            f"{multi[0].name!r} (use the MMSIM flow instead)"
+                        )
+                    placer = RowPlacer(core.xl, xh)
+                    for cell in cells:  # already in GP-x order
+                        placer.append(cell.id, cell.gp_x, cell.width)
+                    placer.snap_to_sites(core.xl, core.site_width)
+                    for cid, x in placer.positions():
+                        design.cells[cid].x = x
+        stage_seconds = root.child_seconds()
         return finish_result(
-            design, self.name, timer.total(), num_failed=failed,
-            stage_seconds=timer.as_dict(),
+            design, self.name, sum(stage_seconds.values()), num_failed=failed,
+            stage_seconds=stage_seconds,
         )
 
 
@@ -83,47 +87,54 @@ class AbacusLegalizer:
         self.row_search_range = row_search_range
 
     def legalize(self, design: Design) -> BaselineResult:
-        timer = StageTimer()
+        tracer = active_tracer()
         core = design.core
-        with timer.stage("abacus"):
-            placers: Dict[int, RowPlacer] = {
-                r: RowPlacer(core.xl, core.xh) for r in range(core.num_rows)
-            }
-            cells = sorted(design.movable_cells, key=lambda c: (c.gp_x, c.id))
-            failed = 0
-            for cell in cells:
-                if cell.height_rows > 1:
-                    raise ValueError(
-                        "classic Abacus does not handle multi-row cells; use "
-                        "WangLegalizer or the MMSIM flow for mixed heights"
-                    )
-                best_row = self._best_row(cell, core, placers)
-                if best_row is None:
-                    failed += 1
-                    continue
-                placers[best_row].append(cell.id, cell.gp_x, cell.width)
-                cell.row_index = best_row
-                cell.y = core.row_y(best_row)
-                cell.flipped = (
-                    cell.master.bottom_rail is not None
-                    and core.rails.needs_flip(cell.master, best_row)
+        with tracer.span(
+            "abacus_legalize", design=design.name, algorithm=self.name
+        ) as root:
+            with tracer.span("abacus"):
+                placers: Dict[int, RowPlacer] = {
+                    r: RowPlacer(core.xl, core.xh) for r in range(core.num_rows)
+                }
+                cells = sorted(
+                    design.movable_cells, key=lambda c: (c.gp_x, c.id)
                 )
+                failed = 0
+                for cell in cells:
+                    if cell.height_rows > 1:
+                        raise ValueError(
+                            "classic Abacus does not handle multi-row cells; "
+                            "use WangLegalizer or the MMSIM flow for mixed "
+                            "heights"
+                        )
+                    best_row = self._best_row(cell, core, placers)
+                    if best_row is None:
+                        failed += 1
+                        continue
+                    placers[best_row].append(cell.id, cell.gp_x, cell.width)
+                    cell.row_index = best_row
+                    cell.y = core.row_y(best_row)
+                    cell.flipped = (
+                        cell.master.bottom_rail is not None
+                        and core.rails.needs_flip(cell.master, best_row)
+                    )
 
-            for row, placer in placers.items():
-                placer.snap_to_sites(core.xl, core.site_width)
-                for cid, x in placer.positions():
-                    design.cells[cid].x = x
+                for row, placer in placers.items():
+                    placer.snap_to_sites(core.xl, core.site_width)
+                    for cid, x in placer.positions():
+                        design.cells[cid].x = x
 
-        if any(cell.fixed for cell in design.cells):
-            # Row placers are obstacle-blind; re-commit through the
-            # obstacle-aware allocation.
-            with timer.stage("obstacle_repair"):
-                from repro.core.tetris_fix import tetris_allocate
+            if any(cell.fixed for cell in design.cells):
+                # Row placers are obstacle-blind; re-commit through the
+                # obstacle-aware allocation.
+                with tracer.span("obstacle_repair"):
+                    from repro.core.tetris_fix import tetris_allocate
 
-                tetris_allocate(design)
+                    tetris_allocate(design)
+        stage_seconds = root.child_seconds()
         return finish_result(
-            design, self.name, timer.total(), num_failed=failed,
-            stage_seconds=timer.as_dict(),
+            design, self.name, sum(stage_seconds.values()), num_failed=failed,
+            stage_seconds=stage_seconds,
         )
 
     def _best_row(self, cell, core, placers) -> Optional[int]:

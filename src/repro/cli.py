@@ -1,12 +1,18 @@
-"""Command-line interface: ``repro-legalize``.
+"""Command-line interface: ``repro`` (also installed as ``repro-legalize``).
 
 Subcommands
 -----------
 ``gen``      generate a synthetic benchmark (Bookshelf or JSON output)
 ``legalize`` legalize a design file with a chosen algorithm
+             (``--trace out.jsonl`` records spans + solver events +
+             metrics; ``--trace-chrome out.json`` writes a
+             ``chrome://tracing`` file)
 ``check``    verify legality of a design file (``--full`` adds metrics)
 ``compare``  run several legalizers on one benchmark and print a table
 ``bench``    regenerate one of the paper's experiments (table1/table2/sec53)
+``trace``    work with recorded traces: ``trace summarize out.jsonl``
+             prints the per-stage / per-solver breakdown,
+             ``trace summarize out.jsonl --chrome out.json`` converts
 
 Design files are Bookshelf ``.aux`` suites or this package's ``.json``
 format (chosen by extension).
@@ -71,6 +77,8 @@ def cmd_gen(args: argparse.Namespace) -> int:
 
 
 def cmd_legalize(args: argparse.Namespace) -> int:
+    from repro import telemetry
+
     design = _load(args.input)
     factory = ALGORITHMS.get(args.algorithm)
     if factory is None:
@@ -78,7 +86,20 @@ def cmd_legalize(args: argparse.Namespace) -> int:
     legalizer = factory()
     if args.algorithm == "mmsim" and args.lam is not None:
         legalizer = MMSIMLegalizer(LegalizerConfig(lam=args.lam))
-    result = legalizer.legalize(design)
+
+    tracing = bool(args.trace or args.trace_chrome)
+    if tracing:
+        with telemetry.session(event_limit=args.trace_events) as tel:
+            result = legalizer.legalize(design)
+        if args.trace:
+            telemetry.write_jsonl(tel, args.trace)
+            print(f"wrote {args.trace}")
+        if args.trace_chrome:
+            telemetry.write_chrome_trace(tel, args.trace_chrome)
+            print(f"wrote {args.trace_chrome}")
+    else:
+        result = legalizer.legalize(design)
+
     print(result.summary())
     report = check_legality(design)
     print(report.summary())
@@ -88,6 +109,19 @@ def cmd_legalize(args: argparse.Namespace) -> int:
         save_svg(design, args.svg)
         print(f"wrote {args.svg}")
     return 0 if report.is_legal else 1
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro import telemetry
+
+    if args.trace_command == "summarize":
+        data = telemetry.read_jsonl(args.input)
+        print(telemetry.summarize(data))
+        if args.chrome:
+            telemetry.write_chrome_trace(data, args.chrome)
+            print(f"wrote {args.chrome}")
+        return 0
+    raise SystemExit(f"unknown trace command {args.trace_command!r}")
 
 
 def cmd_check(args: argparse.Namespace) -> int:
@@ -165,6 +199,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--lam", type=float, default=None)
     p.add_argument("--output", default=None)
     p.add_argument("--svg", default=None)
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="record a JSONL telemetry trace (spans + per-"
+                        "iteration solver events + metrics) to PATH")
+    p.add_argument("--trace-chrome", default=None, metavar="PATH",
+                   help="also/instead write a chrome://tracing JSON file")
+    p.add_argument("--trace-events", type=int, default=100000,
+                   help="max solver events kept in memory (default 100000)")
     p.set_defaults(func=cmd_legalize)
 
     p = sub.add_parser("check", help="check legality of a design file")
@@ -187,6 +228,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=0.02)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("trace", help="work with recorded telemetry traces")
+    tsub = p.add_subparsers(dest="trace_command", required=True)
+    ps = tsub.add_parser(
+        "summarize",
+        help="print the per-stage / per-solver breakdown of a JSONL trace",
+    )
+    ps.add_argument("input", help="JSONL trace written by legalize --trace")
+    ps.add_argument("--chrome", default=None, metavar="PATH",
+                    help="also convert to a chrome://tracing JSON file")
+    ps.set_defaults(func=cmd_trace)
     return parser
 
 

@@ -33,7 +33,7 @@ from repro.lcp.problem import split_kkt_solution
 from repro.metrics.displacement import DisplacementStats, displacement_stats
 from repro.metrics.hpwl import WirelengthStats, wirelength_stats
 from repro.netlist.design import Design
-from repro.utils.timer import StageTimer
+from repro.telemetry import active_tracer, current_session
 
 
 @dataclass
@@ -135,69 +135,113 @@ class MMSIMLegalizer:
     # ------------------------------------------------------------------
     def legalize(self, design: Design) -> LegalizationResult:
         cfg = self.config
-        timer = StageTimer()
+        tel = current_session()
+        tracer = active_tracer()
+        metrics = tel.metrics
 
-        with timer.stage("row_assign"):
-            assignment = assign_rows(design)
+        with tracer.span(
+            "legalize",
+            design=design.name,
+            algorithm=self.name,
+            cells=len(design.movable_cells),
+        ) as root:
+            with tracer.span("row_assign"):
+                assignment = assign_rows(design)
 
-        if cfg.balance_rows:
-            with timer.stage("rebalance"):
-                from repro.core.rebalance import rebalance_rows
+            if cfg.balance_rows:
+                with tracer.span("rebalance"):
+                    from repro.core.rebalance import rebalance_rows
 
-                rebalance_rows(design, assignment)
+                    rebalance_rows(design, assignment)
 
-        with timer.stage("split"):
-            model = split_cells(design, assignment)
+            with tracer.span("split") as span:
+                model = split_cells(design, assignment)
+                span.set_attribute("subcells", model.num_variables)
 
-        with timer.stage("build_qp"):
-            legal_qp = build_legalization_qp(
-                design,
-                model,
-                lam=cfg.lam,
-                enforce_right_boundary=cfg.enforce_right_boundary,
-            )
-            lcp = legal_qp.qp.kkt_lcp()
+            with tracer.span("build_qp") as span:
+                legal_qp = build_legalization_qp(
+                    design,
+                    model,
+                    lam=cfg.lam,
+                    enforce_right_boundary=cfg.enforce_right_boundary,
+                )
+                lcp = legal_qp.qp.kkt_lcp()
+                span.set_attributes(
+                    variables=legal_qp.num_variables,
+                    constraints=legal_qp.num_constraints,
+                )
+                metrics.gauge("qp.variables").set(legal_qp.num_variables)
+                metrics.gauge("qp.constraints").set(legal_qp.num_constraints)
 
-        with timer.stage("splitting"):
-            splitting = LegalizationSplitting(
-                H=legal_qp.qp.H,
-                B=legal_qp.qp.B,
-                E=legal_qp.E,
-                lam=cfg.lam,
-                params=SplittingParameters(beta=cfg.beta, theta=cfg.theta),
-            )
+            with tracer.span("splitting"):
+                splitting = LegalizationSplitting(
+                    H=legal_qp.qp.H,
+                    B=legal_qp.qp.B,
+                    E=legal_qp.E,
+                    lam=cfg.lam,
+                    params=SplittingParameters(beta=cfg.beta, theta=cfg.theta),
+                )
 
-        theorem2_ok: Optional[bool] = None
-        if cfg.validate_theorem2:
-            with timer.stage("theorem2"):
-                theorem2_ok = splitting.parameters_satisfy_theorem2()
+            theorem2_ok: Optional[bool] = None
+            if cfg.validate_theorem2:
+                with tracer.span("theorem2"):
+                    theorem2_ok = splitting.parameters_satisfy_theorem2()
 
-        with timer.stage("mmsim"):
-            s0 = self._warm_start(legal_qp) if cfg.warm_start else None
-            mmsim_result = mmsim_solve(
-                lcp,
-                splitting,
-                MMSIMOptions(
-                    gamma=cfg.gamma,
-                    tol=cfg.tol,
-                    residual_tol=cfg.residual_tol,
-                    max_iterations=cfg.max_iterations,
-                    record_history=cfg.record_history,
-                ),
-                s0=s0,
-            )
-            y, _r = split_kkt_solution(mmsim_result.z, legal_qp.num_variables)
-            x = legal_qp.to_positions(y)
+            with tracer.span("mmsim") as span:
+                s0 = self._warm_start(legal_qp) if cfg.warm_start else None
+                mmsim_result = mmsim_solve(
+                    lcp,
+                    splitting,
+                    MMSIMOptions(
+                        gamma=cfg.gamma,
+                        tol=cfg.tol,
+                        residual_tol=cfg.residual_tol,
+                        max_iterations=cfg.max_iterations,
+                        record_history=cfg.record_history,
+                        telemetry=tel.solver_events,
+                    ),
+                    s0=s0,
+                )
+                y, _r = split_kkt_solution(
+                    mmsim_result.z, legal_qp.num_variables
+                )
+                x = legal_qp.to_positions(y)
+                span.set_attributes(
+                    iterations=mmsim_result.iterations,
+                    converged=mmsim_result.converged,
+                    residual=mmsim_result.residual,
+                )
+                metrics.counter("mmsim.iterations").inc(mmsim_result.iterations)
+                metrics.counter("mmsim.solves").inc()
+                if "stall rescued" in mmsim_result.message:
+                    metrics.counter("mmsim.stall_rescues").inc()
 
-        with timer.stage("restore"):
-            max_mm, mean_mm = restore_cells(design, model, x, legal_qp.x_origin)
+            with tracer.span("restore"):
+                max_mm, mean_mm = restore_cells(
+                    design, model, x, legal_qp.x_origin
+                )
 
-        with timer.stage("tetris"):
-            tetris_stats = tetris_allocate(design)
+            with tracer.span("tetris") as span:
+                tetris_stats = tetris_allocate(design)
+                span.set_attribute("num_illegal", tetris_stats.num_illegal)
+                metrics.counter("legalizer.illegal_after_qp").inc(
+                    tetris_stats.num_illegal
+                )
 
-        with timer.stage("metrics"):
-            disp = displacement_stats(design)
-            wl = wirelength_stats(design) if design.nets else None
+            with tracer.span("metrics"):
+                disp = displacement_stats(design)
+                wl = wirelength_stats(design) if design.nets else None
+                if tel.enabled:
+                    metrics.counter("legalizer.cells_moved").inc(
+                        sum(
+                            1
+                            for c in design.movable_cells
+                            if c.x != c.gp_x or c.y != c.gp_y
+                        )
+                    )
+                    metrics.histogram("legalizer.displacement_sites").observe(
+                        disp.total_manhattan_sites
+                    )
 
         return LegalizationResult(
             design_name=design.name,
@@ -213,7 +257,7 @@ class MMSIMLegalizer:
             tetris=tetris_stats,
             displacement=disp,
             wirelength=wl,
-            stage_seconds=timer.as_dict(),
+            stage_seconds=root.child_seconds(),
             qp_objective=legal_qp.qp.objective(y),
             theorem2_ok=theorem2_ok,
             residual_history=mmsim_result.residual_history,

@@ -37,6 +37,8 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 from scipy.sparse.csgraph import connected_components
 
+from repro.telemetry import current_tracer
+
 
 def woodbury_h_inverse(E: sp.spmatrix, lam: float) -> sp.csr_matrix:
     """Explicit sparse ``H⁻¹ = (I + λEᵀE)⁻¹`` via blockwise Woodbury.
@@ -139,17 +141,21 @@ class LegalizationSplitting:
         self.B = sp.csr_matrix(B)
         self.n = self.H.shape[0]
         self.m = self.B.shape[0]
-        self.H_inv = woodbury_h_inverse(E, lam)
-        self.D = schur_tridiagonal(self.B, self.H_inv)
+        tracer = current_tracer()
+        with tracer.span("splitting.woodbury", n=self.n):
+            self.H_inv = woodbury_h_inverse(E, lam)
+        with tracer.span("splitting.schur", m=self.m):
+            self.D = schur_tridiagonal(self.B, self.H_inv)
 
         beta, theta = self.params.beta, self.params.theta
-        top = (self.H / beta + sp.identity(self.n)).tocsc()
-        self._solve_top = spla.factorized(top)
-        if self.m:
-            bottom = (self.D / theta + sp.identity(self.m)).tocsc()
-            self._solve_bottom = spla.factorized(bottom)
-        else:
-            self._solve_bottom = None
+        with tracer.span("splitting.factorize", nnz=int(self.H.nnz)):
+            top = (self.H / beta + sp.identity(self.n)).tocsc()
+            self._solve_top = spla.factorized(top)
+            if self.m:
+                bottom = (self.D / theta + sp.identity(self.m)).tocsc()
+                self._solve_bottom = spla.factorized(bottom)
+            else:
+                self._solve_bottom = None
 
     # ------------------------------------------------------------------
     # Splitting protocol

@@ -76,12 +76,12 @@ class Rect:
 
         Abutting rectangles do not overlap, and degenerate (zero-area)
         rectangles have empty interiors so they never overlap anything —
-        consistent with ``overlap_area() > 0``.
+        consistent with ``overlap_area() > 0``, including when the
+        intersection is so thin its area underflows to zero.
         """
-        return (
-            min(self.xh, other.xh) > max(self.xl, other.xl)
-            and min(self.yh, other.yh) > max(self.yl, other.yl)
-        )
+        w = min(self.xh, other.xh) - max(self.xl, other.xl)
+        h = min(self.yh, other.yh) - max(self.yl, other.yl)
+        return w > 0.0 and h > 0.0 and w * h > 0.0
 
     def overlap_area(self, other: "Rect") -> float:
         """Area of the intersection; 0 when the rectangles do not overlap."""

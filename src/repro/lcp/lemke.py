@@ -25,8 +25,14 @@ from repro.lcp.problem import LCP, LCPResult
 
 @dataclass
 class LemkeOptions:
+    """``telemetry`` is an optional event sink (see
+    :class:`repro.telemetry.EventSink`); when set, one ``pivot`` event per
+    complementary pivot (entering/leaving column indices, min ratio) plus
+    a final ``done`` event are emitted."""
+
     max_pivots: int = 10000
     tol: float = 1e-9
+    telemetry: Optional[object] = None
 
 
 def lemke_solve(lcp: LCP, options: Optional[LemkeOptions] = None) -> LCPResult:
@@ -40,8 +46,11 @@ def lemke_solve(lcp: LCP, options: Optional[LemkeOptions] = None) -> LCPResult:
     A = lcp.A.toarray() if sp.issparse(lcp.A) else np.asarray(lcp.A, dtype=float)
     q = lcp.q.copy()
     n = lcp.n
+    emit = opts.telemetry.emit if opts.telemetry is not None else None
 
     if n == 0 or np.all(q >= -opts.tol):
+        if emit is not None:
+            emit("lemke", "done", iterations=0, converged=True, residual=0.0)
         return LCPResult(
             z=np.zeros(n), converged=True, iterations=0,
             residual=lcp.natural_residual(np.zeros(n)), solver="lemke",
@@ -72,11 +81,19 @@ def lemke_solve(lcp: LCP, options: Optional[LemkeOptions] = None) -> LCPResult:
             (rhs[i] / col[i], i) for i in range(n) if col[i] > tol
         ]
         if not candidates:
+            z = _extract_z(tableau, basis, n)
+            residual = lcp.natural_residual(z)
+            if emit is not None:
+                emit(
+                    "lemke", "done",
+                    iterations=iteration, converged=False, residual=residual,
+                    ray_termination=True,
+                )
             return LCPResult(
-                z=_extract_z(tableau, basis, n),
+                z=z,
                 converged=False,
                 iterations=iteration,
-                residual=lcp.natural_residual(_extract_z(tableau, basis, n)),
+                residual=residual,
                 solver="lemke",
                 message="ray termination (no solution on the Lemke path)",
             )
@@ -88,24 +105,42 @@ def lemke_solve(lcp: LCP, options: Optional[LemkeOptions] = None) -> LCPResult:
         leaving = basis[row]
         _pivot(tableau, row, entering)
         basis[row] = entering
+        if emit is not None:
+            emit(
+                "lemke", "pivot",
+                pivot=iteration, entering=entering, leaving=leaving,
+                ratio=ratio,
+            )
 
         if leaving == 2 * n:  # z0 left the basis: solution found.
             z = _extract_z(tableau, basis, n)
+            residual = lcp.natural_residual(z)
+            if emit is not None:
+                emit(
+                    "lemke", "done",
+                    iterations=iteration, converged=True, residual=residual,
+                )
             return LCPResult(
                 z=z,
                 converged=True,
                 iterations=iteration,
-                residual=lcp.natural_residual(z),
+                residual=residual,
                 solver="lemke",
             )
         entering = _complement(leaving, n)
 
     z = _extract_z(tableau, basis, n)
+    residual = lcp.natural_residual(z)
+    if emit is not None:
+        emit(
+            "lemke", "done",
+            iterations=opts.max_pivots, converged=False, residual=residual,
+        )
     return LCPResult(
         z=z,
         converged=False,
         iterations=opts.max_pivots,
-        residual=lcp.natural_residual(z),
+        residual=residual,
         solver="lemke",
         message="pivot limit reached",
     )

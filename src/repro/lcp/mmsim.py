@@ -19,6 +19,8 @@ paper's block lower-triangular splitting of Eq. (16) (see
 
 from __future__ import annotations
 
+import warnings
+from collections import deque
 from dataclasses import dataclass
 from typing import Optional, Protocol
 
@@ -60,6 +62,19 @@ class MMSIMOptions:
     2-cycle on valid mixed-height instances even inside the paper's
     parameter window, and damping reliably collapses the cycle onto the
     fixed point (see ``tests/test_mmsim_stall_rescue.py``).
+
+    ``telemetry`` is an optional event sink (anything with an
+    ``emit(solver, type, **fields)`` method, normally a
+    :class:`repro.telemetry.EventSink`): when set, the solver emits one
+    ``iteration`` event per sweep (z-step norm, damping ω, residual when
+    computed), a ``stall_rescue`` event if the rescue fires, and a final
+    ``done`` event.  When None (the default) the loop pays a single
+    pointer comparison per sweep.
+
+    ``record_history`` is *deprecated* — it grew an unbounded Python list
+    inside the solver loop on long runs.  It still works (now backed by a
+    bounded deque of the most recent ``history_limit`` steps) but warns;
+    use ``telemetry`` instead.
     """
 
     gamma: float = 2.0
@@ -71,6 +86,8 @@ class MMSIMOptions:
     damping: float = 1.0
     auto_damping: bool = True
     stall_window: int = 500
+    telemetry: Optional[object] = None
+    history_limit: int = 50000
 
     def __post_init__(self) -> None:
         if self.gamma <= 0:
@@ -79,6 +96,18 @@ class MMSIMOptions:
             raise ValueError("max_iterations must be >= 1")
         if not 0.0 < self.damping <= 1.0:
             raise ValueError("damping must be in (0, 1]")
+        if self.history_limit < 1:
+            raise ValueError("history_limit must be >= 1")
+        if self.record_history:
+            warnings.warn(
+                "MMSIMOptions.record_history is deprecated (it buffered an "
+                "unbounded list inside the solver loop); pass a telemetry "
+                "event sink instead, e.g. MMSIMOptions(telemetry="
+                "repro.telemetry.EventSink()). The flag still works but "
+                "keeps only the most recent history_limit steps.",
+                DeprecationWarning,
+                stacklevel=2,
+            )
 
 
 def mmsim_solve(
@@ -100,7 +129,8 @@ def mmsim_solve(
         raise ValueError(f"s0 has shape {s.shape}, expected ({n},)")
 
     z_prev = (np.abs(s) + s) / gamma
-    history = []
+    history = deque(maxlen=opts.history_limit) if opts.record_history else None
+    emit = opts.telemetry.emit if opts.telemetry is not None else None
     gq = gamma * lcp.q
     iterations = 0
     converged = False
@@ -115,16 +145,23 @@ def mmsim_solve(
         s = s_hat if omega == 1.0 else omega * s_hat + (1.0 - omega) * s
         z = (np.abs(s) + s) / gamma
         step = float(np.max(np.abs(z - z_prev))) if n else 0.0
-        if opts.record_history:
+        if history is not None:
             history.append(step)
         z_prev = z
+        residual_k: Optional[float] = None
         if step < opts.tol and (k % opts.check_every == 0 or True):
             if opts.residual_tol is None:
                 converged = True
-                break
-            if lcp.natural_residual(z) <= opts.residual_tol:
-                converged = True
-                break
+            else:
+                residual_k = lcp.natural_residual(z)
+                converged = residual_k <= opts.residual_tol
+        if emit is not None:
+            emit(
+                "mmsim", "iteration",
+                iteration=k, step=step, omega=omega, residual=residual_k,
+            )
+        if converged:
+            break
         # Stall rescue: a step that stopped shrinking signals the plain
         # iteration 2-cycling; damping collapses the cycle (fixed points
         # are unchanged by ω).
@@ -132,17 +169,25 @@ def mmsim_solve(
             if checkpoint_step is not None and step >= 0.9 * checkpoint_step:
                 omega = 0.7
                 rescued = True
+                if emit is not None:
+                    emit("mmsim", "stall_rescue", iteration=k, omega=omega)
             checkpoint_step = step
     residual = lcp.natural_residual(z_prev)
     message = "" if converged else "max iterations reached"
     if rescued:
         message = (message + "; stall rescued with damping 0.7").lstrip("; ")
+    if emit is not None:
+        emit(
+            "mmsim", "done",
+            iterations=iterations, converged=converged, residual=residual,
+            rescued=rescued,
+        )
     return LCPResult(
         z=z_prev,
         converged=converged,
         iterations=iterations,
         residual=residual,
-        residual_history=history,
+        residual_history=list(history) if history is not None else [],
         solver="mmsim",
         message=message,
     )

@@ -24,9 +24,14 @@ from repro.lcp.problem import LCP, LCPResult
 
 @dataclass
 class PSOROptions:
+    """``telemetry`` is an optional event sink (see
+    :class:`repro.telemetry.EventSink`); when set, one ``iteration`` event
+    per sweep (max z-change) plus a final ``done`` event are emitted."""
+
     relax: float = 1.2
     tol: float = 1e-10
     max_iterations: int = 50000
+    telemetry: Optional[object] = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.relax < 2.0:
@@ -55,6 +60,7 @@ def psor_solve(
     indptr, indices, data = A.indptr, A.indices, A.data
     q = lcp.q
     relax = opts.relax
+    emit = opts.telemetry.emit if opts.telemetry is not None else None
     converged = False
     iterations = 0
     for k in range(1, opts.max_iterations + 1):
@@ -68,14 +74,22 @@ def psor_solve(
             if change > max_change:
                 max_change = change
             z[i] = zi_new
+        if emit is not None:
+            emit("psor", "iteration", iteration=k, step=max_change, relax=relax)
         if max_change < opts.tol:
             converged = True
             break
+    residual = lcp.natural_residual(z)
+    if emit is not None:
+        emit(
+            "psor", "done",
+            iterations=iterations, converged=converged, residual=residual,
+        )
     return LCPResult(
         z=z,
         converged=converged,
         iterations=iterations,
-        residual=lcp.natural_residual(z),
+        residual=residual,
         solver="psor",
         message="" if converged else "max iterations reached",
     )

@@ -19,6 +19,7 @@ sizing, dummy fill, ...).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -30,6 +31,7 @@ from repro.core.splitting import LegalizationSplitting, SplittingParameters
 from repro.lcp.mmsim import MMSIMOptions, mmsim_solve
 from repro.lcp.problem import split_kkt_solution
 from repro.qp.problem import QPProblem
+from repro.telemetry import current_session, current_tracer
 
 
 class GeneralSplitting(LegalizationSplitting):
@@ -54,18 +56,22 @@ class GeneralSplitting(LegalizationSplitting):
         self.B = sp.csr_matrix(B)
         self.n = self.H.shape[0]
         self.m = self.B.shape[0]
-        self._solve_H = spla.factorized(sp.csc_matrix(self.H))
+        tracer = current_tracer()
+        with tracer.span("splitting.factorize_H", nnz=int(self.H.nnz)):
+            self._solve_H = spla.factorized(sp.csc_matrix(self.H))
         self.H_inv = None  # not formed explicitly
-        self.D = self._schur_tridiagonal_via_solves()
+        with tracer.span("splitting.schur", m=self.m):
+            self.D = self._schur_tridiagonal_via_solves()
 
         beta, theta = self.params.beta, self.params.theta
-        top = (self.H / beta + sp.identity(self.n)).tocsc()
-        self._solve_top = spla.factorized(top)
-        if self.m:
-            bottom = (self.D / theta + sp.identity(self.m)).tocsc()
-            self._solve_bottom = spla.factorized(bottom)
-        else:
-            self._solve_bottom = None
+        with tracer.span("splitting.factorize"):
+            top = (self.H / beta + sp.identity(self.n)).tocsc()
+            self._solve_top = spla.factorized(top)
+            if self.m:
+                bottom = (self.D / theta + sp.identity(self.m)).tocsc()
+                self._solve_bottom = spla.factorized(bottom)
+            else:
+                self._solve_bottom = None
 
     def _schur_tridiagonal_via_solves(self) -> sp.csr_matrix:
         """tridiag(B H⁻¹ Bᵀ) using one H-solve per B row.
@@ -147,18 +153,32 @@ def solve_qp_via_mmsim(
     ``x0`` warm-starts the modulus iteration at a primal guess.
     """
     opts = options or MMSIMOptions(tol=1e-8, residual_tol=1e-6)
-    if E is not None and lam is not None:
-        splitting = LegalizationSplitting(qp.H, qp.B, E, lam, params)
-    else:
-        splitting = GeneralSplitting(qp.H, qp.B, params)
-    lcp = qp.kkt_lcp()
-    s0 = None
-    if x0 is not None:
-        x0 = np.maximum(np.asarray(x0, dtype=float).ravel(), 0.0)
-        s0 = np.zeros(qp.num_variables + qp.num_constraints)
-        s0[: qp.num_variables] = 0.5 * opts.gamma * x0
-    result = mmsim_solve(lcp, splitting, opts, s0=s0)
-    x, r = split_kkt_solution(result.z, qp.num_variables)
+    tel = current_session()
+    if opts.telemetry is None and tel.enabled:
+        # Thread the ambient event sink through without mutating the
+        # caller's options object.
+        opts = dataclasses.replace(opts, telemetry=tel.solver_events)
+    tracer = tel.tracer
+    with tracer.span(
+        "qp.solve_via_mmsim", n=qp.num_variables, m=qp.num_constraints
+    ) as span:
+        tel.metrics.gauge("qp.variables").set(qp.num_variables)
+        tel.metrics.gauge("qp.constraints").set(qp.num_constraints)
+        if E is not None and lam is not None:
+            splitting = LegalizationSplitting(qp.H, qp.B, E, lam, params)
+        else:
+            splitting = GeneralSplitting(qp.H, qp.B, params)
+        lcp = qp.kkt_lcp()
+        s0 = None
+        if x0 is not None:
+            x0 = np.maximum(np.asarray(x0, dtype=float).ravel(), 0.0)
+            s0 = np.zeros(qp.num_variables + qp.num_constraints)
+            s0[: qp.num_variables] = 0.5 * opts.gamma * x0
+        result = mmsim_solve(lcp, splitting, opts, s0=s0)
+        x, r = split_kkt_solution(result.z, qp.num_variables)
+        span.set_attributes(
+            iterations=result.iterations, converged=result.converged
+        )
     return MMSIMQPResult(
         x=x,
         multipliers=r,

@@ -1,0 +1,92 @@
+"""Structured tracing, metrics, and solver-convergence observability.
+
+The subsystem has four pieces, bundled by a :class:`TelemetrySession`:
+
+* **Spans** (:mod:`repro.telemetry.tracer`) — nested, attributed,
+  exception-safe timing of flow stages (``legalize → row_assign → …``).
+* **Metrics** (:mod:`repro.telemetry.metrics`) — counters / gauges /
+  histograms such as ``mmsim.iterations`` or ``legalizer.cells_moved``.
+* **Solver events** (:mod:`repro.telemetry.events`) — a bounded,
+  optionally streaming feed of per-iteration convergence records from the
+  MMSIM / PSOR / Lemke solvers (residual, z-step norm, damping ω, pivots).
+* **Exporters** (:mod:`repro.telemetry.export`) — JSONL, Chrome-trace
+  (``chrome://tracing``), and a human-readable summary.
+
+Everything is off by default: instrumented code reads the ambient session
+via :func:`current_session` and gets shared no-op collectors, so the
+disabled cost in hot loops is a single ``is not None`` branch (see
+``benchmarks/bench_telemetry_overhead.py``).  Enable with::
+
+    from repro import telemetry
+
+    with telemetry.session() as tel:
+        result = legalize(design)
+    print(telemetry.summarize(tel))
+    telemetry.write_jsonl(tel, "trace.jsonl")
+
+or from the CLI: ``repro legalize design.json --trace out.jsonl`` then
+``repro trace summarize out.jsonl``.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.telemetry.events import EventSink, solver_iteration_counts
+from repro.telemetry.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from repro.telemetry.export import (
+    SCHEMA,
+    TraceData,
+    aggregate_stage_seconds,
+    chrome_trace,
+    iter_records,
+    read_jsonl,
+    summarize,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.telemetry.session import (
+    NULL_SESSION,
+    TelemetrySession,
+    active_tracer,
+    current_session,
+    current_tracer,
+    session,
+    set_session,
+)
+from repro.telemetry.span import Span
+from repro.telemetry.tracer import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_METRICS",
+    "EventSink",
+    "solver_iteration_counts",
+    "TelemetrySession",
+    "NULL_SESSION",
+    "session",
+    "current_session",
+    "current_tracer",
+    "active_tracer",
+    "set_session",
+    "SCHEMA",
+    "TraceData",
+    "iter_records",
+    "write_jsonl",
+    "read_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+    "summarize",
+    "aggregate_stage_seconds",
+]

@@ -1,0 +1,282 @@
+"""Trace exporters and the trace-file reader.
+
+Three output formats for one :class:`~repro.telemetry.session.TelemetrySession`:
+
+* **JSONL** (:func:`write_jsonl` / :func:`read_jsonl`) — one JSON object
+  per line, each tagged with a ``kind`` (``meta`` / ``span`` / ``event`` /
+  ``metric``).  This is the on-disk interchange format; it round-trips
+  through :class:`TraceData`.
+* **Chrome trace** (:func:`chrome_trace` / :func:`write_chrome_trace`) —
+  the Catapult "complete event" (``ph: "X"``) schema loadable in
+  ``chrome://tracing`` / Perfetto; spans become duration slices, solver
+  events become instant events (``ph: "i"``).
+* **Human summary** (:func:`summarize`) — a per-stage / per-solver
+  breakdown rendered as text (the ``repro trace summarize`` CLI).
+
+Schema version: ``repro.telemetry/1``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.telemetry.events import solver_iteration_counts
+from repro.telemetry.session import TelemetrySession
+
+SCHEMA = "repro.telemetry/1"
+
+
+@dataclass
+class TraceData:
+    """A trace file loaded back into memory."""
+
+    meta: Dict[str, Any] = field(default_factory=dict)
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    metrics: List[Dict[str, Any]] = field(default_factory=list)
+
+    def spans_by_id(self) -> Dict[int, Dict[str, Any]]:
+        return {s["id"]: s for s in self.spans}
+
+    def span_names(self) -> List[str]:
+        return [s["name"] for s in self.spans]
+
+
+# ----------------------------------------------------------------------
+# Record generation (session -> flat dicts)
+# ----------------------------------------------------------------------
+def iter_records(session: TelemetrySession) -> Iterator[Dict[str, Any]]:
+    """Flatten a session into JSONL-ready records (meta first)."""
+    meta: Dict[str, Any] = {
+        "kind": "meta",
+        "schema": SCHEMA,
+        "created_unix": time.time(),
+    }
+    if session.events is not None:
+        meta["events_emitted"] = session.events.total_emitted
+        meta["events_dropped"] = session.events.dropped
+    yield meta
+    for span in session.tracer.walk():
+        yield span.to_record()
+    if session.events is not None:
+        for event in session.events.events():
+            yield event
+    for snap in session.metrics.snapshot().values():
+        record = {"kind": "metric"}
+        record.update(snap)
+        yield record
+
+
+def write_jsonl(session: TelemetrySession, path: str) -> str:
+    """Write the session as one JSON object per line; returns the path."""
+    with open(path, "w") as fh:
+        for record in iter_records(session):
+            fh.write(json.dumps(record) + "\n")
+    return path
+
+
+def read_jsonl(path_or_lines: Union[str, List[str]]) -> TraceData:
+    """Load a JSONL trace (path or iterable of lines) into a TraceData."""
+    if isinstance(path_or_lines, str):
+        with open(path_or_lines) as fh:
+            lines = fh.readlines()
+    else:
+        lines = list(path_or_lines)
+    data = TraceData()
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            # A truncated trailing line (interrupted streaming writer)
+            # should not make the whole trace unreadable.
+            continue
+        if not isinstance(record, dict):
+            continue
+        kind = record.get("kind")
+        if kind == "meta":
+            data.meta = record
+        elif kind == "span":
+            data.spans.append(record)
+        elif kind == "event":
+            data.events.append(record)
+        elif kind == "metric":
+            data.metrics.append(record)
+        # unknown kinds are ignored (forward compatibility)
+    return data
+
+
+def _as_trace_data(source: Union[TelemetrySession, TraceData]) -> TraceData:
+    if isinstance(source, TraceData):
+        return source
+    return read_jsonl([json.dumps(r) for r in iter_records(source)])
+
+
+# ----------------------------------------------------------------------
+# Chrome trace (catapult) format
+# ----------------------------------------------------------------------
+def chrome_trace(source: Union[TelemetrySession, TraceData]) -> Dict[str, Any]:
+    """Convert to the ``chrome://tracing`` JSON object format.
+
+    Spans map to complete events (``ph: "X"``, µs timestamps); solver
+    events map to instant events (``ph: "i"``) at the start time of their
+    enclosing span (per-iteration wall-clock is not recorded — ordering
+    is carried by the ``seq``/``iteration`` args).
+    """
+    data = _as_trace_data(source)
+    trace_events: List[Dict[str, Any]] = []
+    span_start: Dict[int, float] = {}
+    for span in data.spans:
+        start_us = span["start"] * 1e6
+        span_start[span["id"]] = start_us
+        event: Dict[str, Any] = {
+            "name": span["name"],
+            "cat": "span",
+            "ph": "X",
+            "ts": start_us,
+            "dur": span["duration"] * 1e6,
+            "pid": 0,
+            "tid": 0,
+            "args": dict(span.get("attrs", {})),
+        }
+        if span.get("status") == "error":
+            event["args"]["error"] = span.get("error", "")
+        trace_events.append(event)
+    for ev in data.events:
+        ts = span_start.get(ev.get("span_id"), 0.0)
+        args = {
+            k: v
+            for k, v in ev.items()
+            if k not in ("kind", "solver", "type", "span_id")
+        }
+        trace_events.append(
+            {
+                "name": f"{ev.get('solver', '?')}.{ev.get('type', '?')}",
+                "cat": "solver",
+                "ph": "i",
+                "s": "t",
+                "ts": ts,
+                "pid": 0,
+                "tid": 0,
+                "args": args,
+            }
+        )
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"schema": data.meta.get("schema", SCHEMA)},
+    }
+
+
+def write_chrome_trace(
+    source: Union[TelemetrySession, TraceData], path: str
+) -> str:
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(source), fh)
+    return path
+
+
+# ----------------------------------------------------------------------
+# Human-readable summary
+# ----------------------------------------------------------------------
+def aggregate_stage_seconds(
+    source: Union[TelemetrySession, TraceData]
+) -> Dict[str, Dict[str, float]]:
+    """Per-span-name aggregates: ``{name: {count, total, mean}}``."""
+    data = _as_trace_data(source)
+    agg: Dict[str, Dict[str, float]] = {}
+    for span in data.spans:
+        entry = agg.setdefault(span["name"], {"count": 0, "total": 0.0})
+        entry["count"] += 1
+        entry["total"] += span["duration"]
+    for entry in agg.values():
+        entry["mean"] = entry["total"] / entry["count"] if entry["count"] else 0.0
+    return agg
+
+
+def summarize(
+    source: Union[TelemetrySession, TraceData], max_rows: int = 40
+) -> str:
+    """Render the per-stage / per-solver / metrics breakdown as text."""
+    data = _as_trace_data(source)
+    lines: List[str] = []
+    roots = [s for s in data.spans if s.get("parent_id") is None]
+    total = sum(s["duration"] for s in roots)
+    lines.append(
+        f"trace: {len(data.spans)} spans, {len(data.events)} events, "
+        f"{len(data.metrics)} metrics"
+        + (f", wall {total:.3f}s" if roots else "")
+    )
+    dropped = data.meta.get("events_dropped", 0)
+    if dropped:
+        lines.append(
+            f"  (event buffer bounded: {dropped} oldest events dropped of "
+            f"{data.meta.get('events_emitted', '?')} emitted)"
+        )
+
+    if data.spans:
+        lines.append("")
+        lines.append("stages (aggregated by span name):")
+        lines.append(
+            f"  {'span':<28} {'count':>5} {'total s':>10} {'mean s':>10} {'%':>6}"
+        )
+        agg = aggregate_stage_seconds(data)
+        order = sorted(agg.items(), key=lambda kv: -kv[1]["total"])
+        for name, entry in order[:max_rows]:
+            pct = 100.0 * entry["total"] / total if total > 0 else 0.0
+            lines.append(
+                f"  {name:<28} {entry['count']:>5.0f} {entry['total']:>10.4f} "
+                f"{entry['mean']:>10.4f} {pct:>5.1f}%"
+            )
+
+    solvers: Dict[str, List[Dict[str, Any]]] = {}
+    for ev in data.events:
+        solvers.setdefault(ev.get("solver", "?"), []).append(ev)
+    if solvers:
+        iteration_totals = solver_iteration_counts(data.events)
+        lines.append("")
+        lines.append("solvers:")
+        for solver in sorted(solvers):
+            events = solvers[solver]
+            done = [e for e in events if e.get("type") == "done"]
+            rescues = [e for e in events if e.get("type") == "stall_rescue"]
+            iters = iteration_totals.get(solver, 0)
+            parts = [f"  {solver:<10} events={len(events)}", f"iterations={iters}"]
+            if done:
+                last = done[-1]
+                if "converged" in last:
+                    parts.append(f"converged={last['converged']}")
+                if "residual" in last and last["residual"] is not None:
+                    parts.append(f"residual={last['residual']:.3e}")
+            if rescues:
+                parts.append(f"stall_rescues={len(rescues)}")
+            steps = [
+                e["step"] for e in events
+                if e.get("type") == "iteration" and "step" in e
+            ]
+            if steps:
+                parts.append(f"final_step={steps[-1]:.3e}")
+            lines.append(" ".join(parts))
+
+    if data.metrics:
+        lines.append("")
+        lines.append("metrics:")
+        for metric in sorted(data.metrics, key=lambda m: m.get("name", "")):
+            name = metric.get("name", "?")
+            if metric.get("type") == "histogram":
+                lines.append(
+                    f"  {name:<28} histogram count={metric.get('count', 0)} "
+                    f"mean={metric.get('mean', 0.0):.4g} "
+                    f"min={metric.get('min')} max={metric.get('max')}"
+                )
+            else:
+                lines.append(
+                    f"  {name:<28} {metric.get('type', '?'):<9} "
+                    f"value={metric.get('value', 0.0):g}"
+                )
+    return "\n".join(lines)

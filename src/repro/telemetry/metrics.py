@@ -1,0 +1,197 @@
+"""Metrics: named counters, gauges, and histograms.
+
+A :class:`MetricsRegistry` is a get-or-create map from dotted metric names
+(``"mmsim.iterations"``, ``"legalizer.cells_moved"``) to instruments:
+
+* :class:`Counter` — monotonically increasing total (``inc``);
+* :class:`Gauge` — last-written value (``set``);
+* :class:`Histogram` — streaming count/sum/min/max/mean of observations
+  (``observe``) without storing samples.
+
+:class:`NullMetricsRegistry` is the disabled twin: it hands out shared
+no-op instruments so instrumented code can call ``metrics.counter(...)``
+unconditionally at stage granularity.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Union
+
+
+class Counter:
+    """Monotonic counter."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge instead")
+        self.value += amount
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"name": self.name, "type": self.kind, "value": self.value}
+
+
+class Gauge:
+    """Last-value-wins instrument."""
+
+    __slots__ = ("name", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"name": self.name, "type": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Streaming summary statistics (no samples retained)."""
+
+    __slots__ = ("name", "count", "sum", "min", "max")
+    kind = "histogram"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+        }
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Name-keyed instrument store; one instrument per name."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Instrument] = {}
+
+    def _get(self, name: str, cls) -> Instrument:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """``{name: instrument.snapshot()}`` for every instrument."""
+        return {
+            name: inst.snapshot()
+            for name, inst in sorted(self._instruments.items())
+        }
+
+
+class _NullInstrument:
+    """Shared no-op instrument for the disabled path."""
+
+    __slots__ = ()
+    name = ""
+    value = 0.0
+    count = 0
+    sum = 0.0
+    min = None
+    max = None
+    mean = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry:
+    """Disabled registry: every lookup returns the same no-op instrument."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def __len__(self) -> int:
+        return 0
+
+    def __contains__(self, name: str) -> bool:
+        return False
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        return {}
+
+
+NULL_METRICS = NullMetricsRegistry()

@@ -1,0 +1,122 @@
+"""Telemetry sessions: the ambient on/off switch for the whole subsystem.
+
+A :class:`TelemetrySession` bundles the three collectors — a
+:class:`~repro.telemetry.tracer.Tracer`, a
+:class:`~repro.telemetry.metrics.MetricsRegistry`, and an
+:class:`~repro.telemetry.events.EventSink` — behind one ``enabled`` flag.
+Exactly one session is *current* at a time; instrumented code asks for it
+via :func:`current_session` (or :func:`current_tracer`) and gets the
+shared no-op implementations when telemetry is off, so the default cost
+of instrumentation is a dict-free attribute lookup.
+
+Typical use::
+
+    from repro import telemetry
+
+    with telemetry.session() as tel:
+        result = legalize(design)
+        telemetry.write_jsonl(tel, "trace.jsonl")
+
+The module-level default is :data:`NULL_SESSION` (disabled).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, TextIO
+
+from repro.telemetry.events import EventSink
+from repro.telemetry.metrics import NULL_METRICS, MetricsRegistry
+from repro.telemetry.tracer import NULL_TRACER, Tracer
+
+
+class TelemetrySession:
+    """One run's worth of spans + metrics + solver events.
+
+    Construct with ``enabled=False`` for an inert session (all three
+    collectors are the shared no-ops and ``solver_events`` is None, which
+    is what solver hot loops check).
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        event_limit: Optional[int] = 10000,
+        event_stream: Optional[TextIO] = None,
+    ) -> None:
+        self.enabled = enabled
+        if enabled:
+            self.tracer = Tracer()
+            self.metrics = MetricsRegistry()
+            self.events = EventSink(
+                limit=event_limit, stream=event_stream, tracer=self.tracer
+            )
+        else:
+            self.tracer = NULL_TRACER
+            self.metrics = NULL_METRICS
+            self.events = None
+
+    # ------------------------------------------------------------------
+    @property
+    def solver_events(self) -> Optional[EventSink]:
+        """The sink to hand to solver options — None when disabled, so the
+        solvers' ``if emit is not None`` fast path stays branch-only."""
+        return self.events if self.enabled else None
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"TelemetrySession({state})"
+
+
+#: The always-disabled default session.
+NULL_SESSION = TelemetrySession(enabled=False)
+
+_current: TelemetrySession = NULL_SESSION
+
+
+def current_session() -> TelemetrySession:
+    """The ambient session (the disabled :data:`NULL_SESSION` by default)."""
+    return _current
+
+
+def current_tracer():
+    """Shortcut for ``current_session().tracer``."""
+    return _current.tracer
+
+
+def set_session(session: Optional[TelemetrySession]) -> TelemetrySession:
+    """Install *session* (None means disable) and return the previous one."""
+    global _current
+    previous = _current
+    _current = session if session is not None else NULL_SESSION
+    return previous
+
+
+@contextmanager
+def session(
+    event_limit: Optional[int] = 10000,
+    event_stream: Optional[TextIO] = None,
+) -> Iterator[TelemetrySession]:
+    """Context manager: install a fresh enabled session, restore on exit."""
+    tel = TelemetrySession(
+        enabled=True, event_limit=event_limit, event_stream=event_stream
+    )
+    previous = set_session(tel)
+    try:
+        yield tel
+    finally:
+        set_session(previous)
+
+
+def active_tracer() -> Tracer:
+    """Ambient tracer when telemetry is enabled, else a *fresh private*
+    :class:`Tracer`.
+
+    This is the pattern for flows that must report stage timings whether
+    or not telemetry is on (``LegalizationResult.stage_seconds`` predates
+    the subsystem): time against a real tracer always, and the spans land
+    in the ambient trace exactly when a session is active.
+    """
+    if _current.enabled:
+        return _current.tracer
+    return Tracer()

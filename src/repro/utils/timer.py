@@ -1,41 +1,50 @@
-"""Lightweight wall-clock timing for flow stages.
+"""Lightweight wall-clock timing for flow stages (telemetry-backed shim).
 
-The paper reports per-benchmark runtimes; :class:`StageTimer` records named
-stage durations so the legalizer can attach a runtime breakdown to its
-result without any external profiler.
+:class:`StageTimer` predates the :mod:`repro.telemetry` subsystem; it is
+now a thin wrapper over a private :class:`~repro.telemetry.tracer.Tracer`
+that keeps the original accumulate-seconds-per-stage API so existing
+callers and benchmark scripts work unchanged.
+
+Bonus over the original: when an ambient telemetry session is active
+(:func:`repro.telemetry.session`), every ``stage(...)`` also opens a span
+on the ambient tracer, so StageTimer-instrumented baselines show up in
+exported traces for free.  New code should use the tracer API directly.
 """
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
 from typing import Dict, Iterator
+
+from repro.telemetry import Tracer, current_session
 
 
 class StageTimer:
     """Accumulates wall-clock seconds per named stage."""
 
     def __init__(self) -> None:
-        self._totals: Dict[str, float] = {}
+        self._tracer = Tracer()
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            elapsed = time.perf_counter() - start
-            self._totals[name] = self._totals.get(name, 0.0) + elapsed
+        ambient = current_session()
+        if ambient.enabled:
+            with ambient.tracer.span(name), self._tracer.span(name):
+                yield
+        else:
+            with self._tracer.span(name):
+                yield
 
     def seconds(self, name: str) -> float:
-        return self._totals.get(name, 0.0)
+        return self._tracer.stage_seconds().get(name, 0.0)
 
     def total(self) -> float:
-        return sum(self._totals.values())
+        return sum(self._tracer.stage_seconds().values())
 
     def as_dict(self) -> Dict[str, float]:
-        return dict(self._totals)
+        return self._tracer.stage_seconds()
 
     def __str__(self) -> str:
-        parts = ", ".join(f"{k}={v:.3f}s" for k, v in self._totals.items())
+        totals = self._tracer.stage_seconds()
+        parts = ", ".join(f"{k}={v:.3f}s" for k, v in totals.items())
         return f"StageTimer({parts}, total={self.total():.3f}s)"
