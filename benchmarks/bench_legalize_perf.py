@@ -1,0 +1,173 @@
+"""End-to-end legalization perf trajectory: sharded/fast vs pre-PR solver.
+
+Runs the :mod:`bench_scaling` suite (fft_2 at several scales) twice per
+size — once with the legacy monolithic SuperLU solver
+(``LegalizerConfig(shard=False, fast_kernels=False)``, a faithful
+reproduction of the pre-optimization per-sweep work) and once with the
+default sharded + specialized-kernel configuration — and records wall
+time, iteration counts, and the per-stage breakdown that the legalizer
+collects from its telemetry spans.
+
+Results land in ``BENCH_legalize.json`` at the repo root (see
+``docs/PERFORMANCE.md`` for the schema).  The script exits nonzero if
+the sharded solve diverges from the monolithic reference: final cell
+positions must agree within ``--parity-tol`` and legality/displacement
+stats must be identical, so a perf "win" can never silently trade away
+correctness.
+
+Run:  PYTHONPATH=src python benchmarks/bench_legalize_perf.py --profile smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.benchgen import make_benchmark
+from repro.core.legalizer import LegalizerConfig, MMSIMLegalizer
+from repro.legality import check_legality
+
+BENCH = "fft_2"
+SEED = 3
+PROFILES = {
+    # scale list must keep >= 3 sizes so the JSON always carries a
+    # trajectory, not a point sample.
+    "smoke": {"scales": [0.01, 0.02, 0.05], "reps": 1},
+    "full": {"scales": [0.01, 0.02, 0.05, 0.1], "reps": 3},
+}
+
+
+def _run_config(cfg: LegalizerConfig, scale: float, reps: int) -> Dict:
+    """Best-of-``reps`` legalization of a freshly generated design."""
+    best: Optional[Dict] = None
+    for _ in range(reps):
+        design = make_benchmark(BENCH, scale=scale, seed=SEED, with_nets=False)
+        t0 = time.perf_counter()
+        result = MMSIMLegalizer(cfg).legalize(design)
+        wall = time.perf_counter() - t0
+        record = {
+            "wall_s": wall,
+            "iterations": result.iterations,
+            "converged": result.converged,
+            "stages_s": {k: round(v, 6) for k, v in result.stage_seconds.items()},
+            "num_cells": design.num_cells,
+            "num_variables": result.num_variables,
+            "num_constraints": result.num_constraints,
+            "legal": check_legality(design).is_legal,
+            "displacement_sites": result.displacement.total_manhattan_sites,
+            "positions": np.array([c.x for c in design.movable_cells]),
+        }
+        if best is None or wall < best["wall_s"]:
+            best = record
+    assert best is not None
+    return best
+
+
+def run_profile(profile: str, parallel: bool, parity_tol: float) -> Dict:
+    spec = PROFILES[profile]
+    sharded_cfg = LegalizerConfig(parallel=parallel)
+    legacy_cfg = LegalizerConfig(shard=False, fast_kernels=False)
+    runs: List[Dict] = []
+    diverged = False
+    for scale in spec["scales"]:
+        legacy = _run_config(legacy_cfg, scale, spec["reps"])
+        sharded = _run_config(sharded_cfg, scale, spec["reps"])
+        pos_diff = float(
+            np.max(np.abs(sharded.pop("positions") - legacy.pop("positions")))
+        )
+        disp_diff = abs(
+            sharded["displacement_sites"] - legacy["displacement_sites"]
+        )
+        parity_ok = (
+            pos_diff <= parity_tol
+            and sharded["legal"] == legacy["legal"]
+            and disp_diff <= parity_tol
+        )
+        diverged = diverged or not parity_ok
+        speedup = legacy["wall_s"] / sharded["wall_s"]
+        runs.append(
+            {
+                "scale": scale,
+                "num_cells": sharded["num_cells"],
+                "num_variables": sharded["num_variables"],
+                "num_constraints": sharded["num_constraints"],
+                "legacy": {k: v for k, v in legacy.items() if k != "num_cells"},
+                "sharded": {k: v for k, v in sharded.items() if k != "num_cells"},
+                "speedup": round(speedup, 3),
+                "parity": {
+                    "ok": parity_ok,
+                    "max_position_diff": pos_diff,
+                    "displacement_diff": disp_diff,
+                },
+            }
+        )
+        print(
+            f"scale {scale:<5} cells {sharded['num_cells']:>5}  "
+            f"legacy {legacy['wall_s']:.3f}s  "
+            f"sharded {sharded['wall_s']:.3f}s  "
+            f"speedup {speedup:.2f}x  parity {'ok' if parity_ok else 'FAIL'}"
+        )
+    return {
+        "benchmark": BENCH,
+        "seed": SEED,
+        "profile": profile,
+        "parallel": parallel,
+        "reps": spec["reps"],
+        "parity_tol": parity_tol,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "runs": runs,
+        "diverged": diverged,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--profile", choices=sorted(PROFILES), default="full")
+    parser.add_argument(
+        "--parallel", action="store_true",
+        help="solve shards on a thread pool (the serial default is what "
+             "the headline speedup is measured with)",
+    )
+    parser.add_argument(
+        "--parity-tol", type=float, default=1e-6,
+        help="max allowed |sharded - monolithic| position / displacement "
+             "difference before the run counts as diverged (default 1e-6; "
+             "in practice the paths agree bit-for-bit)",
+    )
+    parser.add_argument(
+        "--output", default=os.path.join(repo_root, "BENCH_legalize.json")
+    )
+    args = parser.parse_args(argv)
+
+    report = run_profile(args.profile, args.parallel, args.parity_tol)
+    with open(args.output, "w") as fh:
+        # np.bool_/np.float64 leak into the record via numpy reductions.
+        json.dump(
+            report, fh, indent=2, sort_keys=True,
+            default=lambda o: o.item() if isinstance(o, np.generic) else o,
+        )
+        fh.write("\n")
+    print(f"wrote {args.output}")
+    if report["diverged"]:
+        print("ERROR: sharded solve diverged from the monolithic reference")
+        return 1
+    largest = report["runs"][-1]
+    print(
+        f"largest profile: {largest['speedup']:.2f}x speedup "
+        f"({largest['legacy']['wall_s']:.3f}s -> "
+        f"{largest['sharded']['wall_s']:.3f}s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

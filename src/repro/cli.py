@@ -84,8 +84,15 @@ def cmd_legalize(args: argparse.Namespace) -> int:
     if factory is None:
         raise SystemExit(f"unknown algorithm {args.algorithm!r}")
     legalizer = factory()
-    if args.algorithm == "mmsim" and args.lam is not None:
-        legalizer = MMSIMLegalizer(LegalizerConfig(lam=args.lam))
+    if args.algorithm == "mmsim":
+        config = LegalizerConfig(
+            shard=not args.no_shard,
+            parallel=args.parallel,
+            max_workers=args.workers,
+        )
+        if args.lam is not None:
+            config.lam = args.lam
+        legalizer = MMSIMLegalizer(config)
 
     tracing = bool(args.trace or args.trace_chrome)
     if tracing:
@@ -197,6 +204,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("input")
     p.add_argument("--algorithm", default="mmsim", choices=sorted(ALGORITHMS))
     p.add_argument("--lam", type=float, default=None)
+    p.add_argument("--no-shard", action="store_true",
+                   help="solve one monolithic KKT LCP instead of sharding "
+                        "it into independent coupling-graph components "
+                        "(mmsim only; sharding is exact and on by default)")
+    p.add_argument("--parallel", action="store_true",
+                   help="solve shards concurrently on a thread pool "
+                        "(mmsim only)")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="thread-pool size for --parallel (default: cpu count)")
     p.add_argument("--output", default=None)
     p.add_argument("--svg", default=None)
     p.add_argument("--trace", default=None, metavar="PATH",

@@ -15,6 +15,14 @@ from repro.core.qp_builder import (
     build_legalization_qp,
 )
 from repro.core.row_assign import RowAssignment, assign_rows
+from repro.core.sharding import (
+    Shard,
+    ShardedKKT,
+    build_shards,
+    coupling_components,
+    shard_legalization_qp,
+    solve_sharded,
+)
 from repro.core.splitting import (
     LegalizationSplitting,
     SplittingParameters,
@@ -45,6 +53,12 @@ __all__ = [
     "SplittingParameters",
     "woodbury_h_inverse",
     "schur_tridiagonal",
+    "Shard",
+    "ShardedKKT",
+    "build_shards",
+    "coupling_components",
+    "shard_legalization_qp",
+    "solve_sharded",
     "tetris_allocate",
     "TetrisFixStats",
 ]

@@ -18,6 +18,7 @@ Section 5.3).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -25,6 +26,7 @@ import numpy as np
 
 from repro.core.qp_builder import LegalizationQP, build_legalization_qp
 from repro.core.row_assign import assign_rows
+from repro.core.sharding import shard_legalization_qp, solve_sharded
 from repro.core.splitting import LegalizationSplitting, SplittingParameters
 from repro.core.subcells import restore_cells, split_cells
 from repro.core.tetris_fix import TetrisFixStats, tetris_allocate
@@ -68,6 +70,22 @@ class LegalizerConfig:
     #: markedly (see benchmarks/bench_ablation_boundary.py) — the paper's
     #: relaxation is the right default.
     enforce_right_boundary: bool = False
+    #: Shard the KKT LCP into independent coupling-graph components and
+    #: solve them separately (exact; see repro.core.sharding).  Each shard
+    #: stops as soon as it converges, so sharding wins even serially.
+    shard: bool = True
+    #: Solve shards concurrently on a thread pool (the NumPy/SciPy kernels
+    #: release the GIL).  Only meaningful with ``shard=True``.
+    parallel: bool = False
+    #: Thread-pool size for ``parallel``; None lets the executor pick.
+    max_workers: Optional[int] = None
+    #: Batch tiny coupling components into shards of at least this many
+    #: variables so Python sweep overhead stays amortized.
+    min_shard_variables: int = 256
+    #: Closed-form Woodbury top-block solve + LAPACK banded bottom-block
+    #: solve + fused sweep (see repro.core.splitting).  ``False`` restores
+    #: the pre-optimization SuperLU kernels for A/B benchmarking.
+    fast_kernels: bool = True
 
 
 @dataclass
@@ -165,7 +183,6 @@ class MMSIMLegalizer:
                     lam=cfg.lam,
                     enforce_right_boundary=cfg.enforce_right_boundary,
                 )
-                lcp = legal_qp.qp.kkt_lcp()
                 span.set_attributes(
                     variables=legal_qp.num_variables,
                     constraints=legal_qp.num_constraints,
@@ -173,35 +190,75 @@ class MMSIMLegalizer:
                 metrics.gauge("qp.variables").set(legal_qp.num_variables)
                 metrics.gauge("qp.constraints").set(legal_qp.num_constraints)
 
-            with tracer.span("splitting"):
-                splitting = LegalizationSplitting(
-                    H=legal_qp.qp.H,
-                    B=legal_qp.qp.B,
-                    E=legal_qp.E,
-                    lam=cfg.lam,
-                    params=SplittingParameters(beta=cfg.beta, theta=cfg.theta),
-                )
+            params = SplittingParameters(beta=cfg.beta, theta=cfg.theta)
+            sharded = None
+            splitting = None
+            with tracer.span("splitting") as span:
+                if cfg.shard:
+                    sharded = shard_legalization_qp(
+                        legal_qp,
+                        params=params,
+                        min_shard_variables=cfg.min_shard_variables,
+                        fast_kernels=cfg.fast_kernels,
+                    )
+                    span.set_attributes(
+                        components=sharded.num_components,
+                        shards=sharded.num_shards,
+                        fast_kernels=cfg.fast_kernels,
+                    )
+                    metrics.gauge("shard.components").set(
+                        sharded.num_components
+                    )
+                    metrics.gauge("shard.shards").set(sharded.num_shards)
+                else:
+                    splitting = LegalizationSplitting(
+                        H=legal_qp.qp.H,
+                        B=legal_qp.qp.B,
+                        E=legal_qp.E,
+                        lam=cfg.lam,
+                        params=params,
+                        fast_kernels=cfg.fast_kernels,
+                    )
+                    span.set_attribute("fast_kernels", cfg.fast_kernels)
 
             theorem2_ok: Optional[bool] = None
             if cfg.validate_theorem2:
                 with tracer.span("theorem2"):
-                    theorem2_ok = splitting.parameters_satisfy_theorem2()
+                    # μ_max of a block-diagonal Γ is the max over blocks,
+                    # so the sharded check is equivalent to the monolithic
+                    # one: every shard must sit inside the window.
+                    if sharded is not None:
+                        theorem2_ok = all(
+                            shard.splitting.parameters_satisfy_theorem2()
+                            for shard in sharded.shards
+                        )
+                    else:
+                        theorem2_ok = splitting.parameters_satisfy_theorem2()
 
             with tracer.span("mmsim") as span:
                 s0 = self._warm_start(legal_qp) if cfg.warm_start else None
-                mmsim_result = mmsim_solve(
-                    lcp,
-                    splitting,
-                    MMSIMOptions(
-                        gamma=cfg.gamma,
-                        tol=cfg.tol,
-                        residual_tol=cfg.residual_tol,
-                        max_iterations=cfg.max_iterations,
-                        record_history=cfg.record_history,
-                        telemetry=tel.solver_events,
-                    ),
-                    s0=s0,
+                options = MMSIMOptions(
+                    gamma=cfg.gamma,
+                    tol=cfg.tol,
+                    residual_tol=cfg.residual_tol,
+                    max_iterations=cfg.max_iterations,
+                    record_history=cfg.record_history,
+                    telemetry=tel.solver_events,
                 )
+                if sharded is not None:
+                    mmsim_result = solve_sharded(
+                        sharded,
+                        options,
+                        s0=s0,
+                        max_workers=(
+                            (cfg.max_workers or os.cpu_count() or 1)
+                            if cfg.parallel
+                            else None
+                        ),
+                    )
+                else:
+                    lcp = legal_qp.qp.kkt_lcp()
+                    mmsim_result = mmsim_solve(lcp, splitting, options, s0=s0)
                 y, _r = split_kkt_solution(
                     mmsim_result.z, legal_qp.num_variables
                 )

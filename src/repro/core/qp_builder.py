@@ -43,11 +43,18 @@ class LegalizationQP:
     lam: float
     x_origin: float          # core.xl
     model: SubcellModel
-    lower: np.ndarray = None  # per-variable lower offsets (len n)
+    #: Per-variable lower offsets (len n); None materializes to zeros.
+    lower: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if self.lower is None:
+            self.lower = np.zeros(self.qp.num_variables)
+        else:
+            self.lower = np.asarray(self.lower, dtype=float).ravel()
 
     def to_positions(self, y: np.ndarray) -> np.ndarray:
         """Map solver variables back to shifted x coordinates."""
-        return y + (self.lower if self.lower is not None else 0.0)
+        return y + self.lower
 
     @property
     def num_variables(self) -> int:

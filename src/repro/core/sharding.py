@@ -1,0 +1,297 @@
+"""Component sharding of the legalization KKT LCP (the perf layer).
+
+The KKT matrix ``A = [[H, −Bᵀ], [B, 0]]`` couples two variables only when
+some B row (an adjacent-pair non-overlap constraint) or E row (a multi-row
+consistency tie) touches both.  Connected components of that
+variable-coupling graph therefore split the LCP into *exactly* independent
+blocks: under the component permutation A is block diagonal, so solving
+each component's sub-LCP and scattering the pieces back reproduces the
+monolithic solution (the LCP of an SPD-KKT system has a unique solution).
+On a real design one component is one cluster of row chains glued by
+multi-row cells — placement locality keeps them small and numerous.
+
+Why shard:
+
+* **smaller systems** factorize faster and the per-sweep matvecs touch
+  less memory;
+* **independent stopping** — each shard's MMSIM stops the moment *that
+  shard* converges, instead of every variable sweeping until the globally
+  slowest cluster finishes (iteration counts across components routinely
+  differ by an order of magnitude);
+* **concurrency** — shards are embarrassingly parallel, and the
+  NumPy/SciPy/LAPACK kernels doing the heavy lifting release the GIL, so
+  a ``ThreadPoolExecutor`` gives real speedup without process overhead.
+
+Tiny components (single cells in otherwise-empty rows) are batched
+together into shards of at least ``min_shard_variables`` variables so the
+Python-level sweep overhead stays amortized; batching unions of
+components is still exact, it only couples their stopping decision.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.csgraph import connected_components
+
+from repro.core.splitting import LegalizationSplitting, SplittingParameters
+from repro.lcp.mmsim import MMSIMOptions, mmsim_solve
+from repro.lcp.problem import LCP, LCPResult, make_kkt_lcp
+
+
+@dataclass
+class Shard:
+    """One independent sub-LCP: a batch of coupling-graph components."""
+
+    index: int
+    variables: np.ndarray     # global variable ids (ascending)
+    b_rows: np.ndarray        # global B-row ids (ascending)
+    num_components: int
+    lcp: LCP
+    splitting: LegalizationSplitting
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.variables)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.b_rows)
+
+
+@dataclass
+class ShardedKKT:
+    """The legalization KKT LCP, partitioned into independent shards."""
+
+    n: int                    # total primal variables
+    m: int                    # total constraints
+    num_components: int       # coupling-graph components before batching
+    shards: List[Shard] = field(default_factory=list)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+
+def coupling_components(
+    B: sp.spmatrix, E: sp.spmatrix, n: int
+) -> Tuple[int, np.ndarray]:
+    """Connected components of the variable-coupling graph.
+
+    Vertices are the n QP variables; edges come from the nonzero pattern
+    of B (adjacent-pair constraints) and E (multi-row ties).  Returns
+    ``(num_components, labels)`` with ``labels[v]`` the component of
+    variable v.
+    """
+    inc = sp.vstack([sp.csr_matrix(B), sp.csr_matrix(E)]).tocsr()
+    if inc.shape[0] == 0 or inc.nnz == 0:
+        return n, np.arange(n)
+    inc.data = np.ones_like(inc.data)
+    adjacency = (inc.T @ inc).tocsr()
+    return connected_components(adjacency, directed=False)
+
+
+def _rows_to_components(M: sp.csr_matrix, labels: np.ndarray) -> np.ndarray:
+    """Component of each matrix row, via its first nonzero column.
+
+    Every nonzero column of a row shares one component by construction
+    (the row itself is a coupling edge).  Structurally empty rows — which
+    the QP builder never emits — are routed to component 0.
+    """
+    M = sp.csr_matrix(M)
+    row_nnz = np.diff(M.indptr)
+    comps = np.zeros(M.shape[0], dtype=labels.dtype)
+    nonempty = row_nnz > 0
+    comps[nonempty] = labels[M.indices[M.indptr[:-1][nonempty]]]
+    return comps
+
+
+def _batch_components(
+    labels: np.ndarray, num_comp: int, min_shard_variables: int
+) -> Tuple[np.ndarray, int]:
+    """Greedily merge components (in first-variable order) into shards of
+    at least ``min_shard_variables`` variables.  Returns
+    ``(shard_of_component, num_shards)``.
+    """
+    n = len(labels)
+    sizes = np.bincount(labels, minlength=num_comp)
+    first_var = np.full(num_comp, n, dtype=np.intp)
+    np.minimum.at(first_var, labels, np.arange(n))
+    order = np.argsort(first_var, kind="stable")
+    shard_of_comp = np.zeros(num_comp, dtype=np.intp)
+    shard = 0
+    acc = 0
+    for comp in order:
+        if acc >= min_shard_variables:
+            shard += 1
+            acc = 0
+        shard_of_comp[comp] = shard
+        acc += sizes[comp]
+    return shard_of_comp, shard + 1
+
+
+def build_shards(
+    H: sp.spmatrix,
+    p: np.ndarray,
+    B: sp.spmatrix,
+    b: np.ndarray,
+    E: sp.spmatrix,
+    lam: float,
+    params: Optional[SplittingParameters] = None,
+    min_shard_variables: int = 256,
+    fast_kernels: bool = True,
+) -> ShardedKKT:
+    """Partition the legalization KKT LCP into independent shards.
+
+    Each shard carries its own :class:`LCP` and prefactorized
+    :class:`LegalizationSplitting`; relative variable and constraint order
+    within a shard matches the global order, so every shard's B keeps the
+    chain-adjacency structure the tridiagonal Schur approximation relies
+    on.
+    """
+    H = sp.csr_matrix(H)
+    B = sp.csr_matrix(B)
+    E = sp.csr_matrix(E)
+    p = np.asarray(p, dtype=float).ravel()
+    b = np.asarray(b, dtype=float).ravel()
+    n = H.shape[0]
+    m = B.shape[0]
+
+    num_comp, labels = coupling_components(B, E, n)
+    shard_of_comp, num_shards = _batch_components(
+        labels, num_comp, min_shard_variables
+    )
+    var_shard = shard_of_comp[labels]
+    b_shard = shard_of_comp[_rows_to_components(B, labels)]
+    e_shard = shard_of_comp[_rows_to_components(E, labels)]
+
+    sharded = ShardedKKT(n=n, m=m, num_components=num_comp)
+    comp_counts = np.bincount(shard_of_comp, minlength=num_shards)
+    for si in range(num_shards):
+        vi = np.where(var_shard == si)[0]
+        bi = np.where(b_shard == si)[0]
+        ei = np.where(e_shard == si)[0]
+        Hs = H[vi][:, vi]
+        Bs = B[bi][:, vi] if len(bi) else sp.csr_matrix((0, len(vi)))
+        Es = E[ei][:, vi] if len(ei) else sp.csr_matrix((0, len(vi)))
+        sharded.shards.append(
+            Shard(
+                index=si,
+                variables=vi,
+                b_rows=bi,
+                num_components=int(comp_counts[si]),
+                lcp=make_kkt_lcp(Hs, p[vi], Bs, b[bi]),
+                splitting=LegalizationSplitting(
+                    Hs, Bs, Es, lam, params=params, fast_kernels=fast_kernels
+                ),
+            )
+        )
+    return sharded
+
+
+def shard_legalization_qp(
+    legal_qp,
+    params: Optional[SplittingParameters] = None,
+    min_shard_variables: int = 256,
+    fast_kernels: bool = True,
+) -> ShardedKKT:
+    """Shard a :class:`repro.core.qp_builder.LegalizationQP`."""
+    qp = legal_qp.qp
+    return build_shards(
+        qp.H,
+        qp.p,
+        qp.B,
+        qp.b,
+        legal_qp.E,
+        legal_qp.lam,
+        params=params,
+        min_shard_variables=min_shard_variables,
+        fast_kernels=fast_kernels,
+    )
+
+
+def solve_sharded(
+    sharded: ShardedKKT,
+    options: Optional[MMSIMOptions] = None,
+    s0: Optional[np.ndarray] = None,
+    max_workers: Optional[int] = None,
+) -> LCPResult:
+    """Run the MMSIM on every shard and scatter back one global solution.
+
+    ``s0`` is the *global* warm start (length n + m), sliced per shard.
+    With ``max_workers`` the shards run on a thread pool (the sparse
+    matvec / LAPACK kernels release the GIL); per-iteration telemetry
+    events are suppressed in that mode since the sinks are not meant for
+    concurrent emitters.
+
+    The aggregate :class:`LCPResult` reports ``iterations`` as the
+    maximum over shards (the serial-equivalent sweep count),
+    ``residual`` as the max shard residual (equal to the global natural
+    residual, A being block diagonal), and ``converged`` only if every
+    shard converged.
+    """
+    opts = options or MMSIMOptions()
+    n = sharded.n
+    parallel = max_workers is not None and sharded.num_shards > 1
+    shard_opts = (
+        dataclasses.replace(opts, telemetry=None) if parallel else opts
+    )
+
+    def run(shard: Shard) -> LCPResult:
+        s0_s = None
+        if s0 is not None:
+            s0_s = np.concatenate(
+                [s0[shard.variables], s0[n + shard.b_rows]]
+            )
+        return mmsim_solve(shard.lcp, shard.splitting, shard_opts, s0=s0_s)
+
+    if parallel:
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            results = list(pool.map(run, sharded.shards))
+    else:
+        results = [run(shard) for shard in sharded.shards]
+
+    z = np.zeros(n + sharded.m)
+    for shard, res in zip(sharded.shards, results):
+        z[shard.variables] = res.z[: shard.num_variables]
+        z[n + shard.b_rows] = res.z[shard.num_variables :]
+
+    # Global z-step history: the global inf-norm step is the max over the
+    # shards still iterating (a finished shard's step is zero).
+    history: List[float] = []
+    if opts.record_history:
+        length = max((len(r.residual_history) for r in results), default=0)
+        history = [
+            max(
+                (
+                    r.residual_history[i]
+                    for r in results
+                    if i < len(r.residual_history)
+                ),
+                default=0.0,
+            )
+            for i in range(length)
+        ]
+
+    converged = all(r.converged for r in results)
+    stalled = sum(1 for r in results if not r.converged)
+    rescued = sum(1 for r in results if "stall rescued" in r.message)
+    message = "" if converged else f"{stalled} shard(s) hit max iterations"
+    if rescued:
+        message = (
+            message + f"; stall rescued with damping 0.7 in {rescued} shard(s)"
+        ).lstrip("; ")
+    return LCPResult(
+        z=z,
+        converged=converged,
+        iterations=max((r.iterations for r in results), default=0),
+        residual=max((r.residual for r in results), default=0.0),
+        residual_history=history,
+        solver="mmsim",
+        message=message,
+    )

@@ -7,9 +7,8 @@ so no diagonal-based splitting applies.  The paper instead splits
 
 where ``D = tridiag(B H⁻¹ Bᵀ)`` approximates the Schur complement.  Since
 ``M + Ω`` (Ω = I) is *block lower triangular*, every MMSIM sweep costs one
-sparse SPD solve with ``H/β* + I`` (prefactorized) and one tridiagonal solve
-with ``D/θ* + I`` (prefactorized) — the sparsity exploitation the paper
-credits for its speed.
+solve with ``H/β* + I`` and one tridiagonal solve with ``D/θ* + I`` — the
+sparsity exploitation the paper credits for its speed.
 
 ``H⁻¹`` is never formed by factorization: with ``H = I + λEᵀE`` the
 Sherman–Morrison–Woodbury identity gives
@@ -21,6 +20,24 @@ inverted exactly blockwise.  For designs whose multi-row cells are all
 double height each block is 1×1 and the formula collapses to the paper's
 closed form ``H⁻¹ = I − λ/(2λ+1) EᵀE``.
 
+Per-sweep kernels (``fast_kernels=True``, the default) exploit the same
+structure instead of general SuperLU factorizations:
+
+* the *top* block ``H/β* + I = ((1+β*)/β*)·(I + λ/(1+β*)·EᵀE)`` is again
+  diagonal-plus-blockwise-low-rank, so its inverse comes from the same
+  Woodbury identity and one solve is a single sparse matvec;
+* the *bottom* block ``D/θ* + I`` is symmetric tridiagonal, prefactorized
+  once with LAPACK ``pttrf`` (Cholesky-like, falling back to ``gttrf``
+  then SuperLU if the matrix is not SPD) and solved with ``pttrs``;
+* :meth:`LegalizationSplitting.apply_rhs` fuses ``N s + (Ω−A)|s| − γq``
+  into one pass sharing the ``H@·``, ``B@·``, ``Bᵀ@·`` products and
+  writing into a preallocated buffer, halving the matvec count of the
+  separate :meth:`apply_N` / :meth:`apply_omega_minus_A` calls.
+
+Every fast kernel is verified against the assembled block on a probe
+vector at setup and silently falls back to ``spla.factorized`` when the
+caller's ``H`` does not have the assumed ``I + λEᵀE`` structure.
+
 Convergence (paper's Theorem 2, via Bai–Parlett–Wang): 0 < β* < 2 and
 0 < θ* < 2(2−β*) / (β* μ_max) with μ_max the top eigenvalue of
 Γ = D⁻¹ B H⁻¹ Bᵀ.  Both the bound check and a power-iteration μ_max
@@ -30,14 +47,38 @@ estimate are provided.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
+from scipy.linalg import lapack
 from scipy.sparse.csgraph import connected_components
 
 from repro.telemetry import current_tracer
+
+#: Relative probe-vector tolerance for accepting a specialized kernel.
+_KERNEL_VERIFY_TOL = 1e-9
+
+try:  # pragma: no cover - exercised indirectly by every fast solve
+    from scipy.sparse import _sparsetools as _spt
+
+    def _csr_matvec_into(M: sp.csr_matrix, x: np.ndarray, y: np.ndarray):
+        """``y += M @ x`` without scipy's per-call dispatch overhead.
+
+        At legalization sizes the Python dispatch around ``M @ x`` costs
+        several times the C kernel itself; this calls the kernel directly
+        and accumulates into a caller-owned buffer (what the fused sweep
+        wants anyway).
+        """
+        _spt.csr_matvec(
+            M.shape[0], M.shape[1], M.indptr, M.indices, M.data, x, y
+        )
+
+except ImportError:  # pragma: no cover - scipy always ships _sparsetools
+
+    def _csr_matvec_into(M: sp.csr_matrix, x: np.ndarray, y: np.ndarray):
+        y += M @ x
 
 
 def woodbury_h_inverse(E: sp.spmatrix, lam: float) -> sp.csr_matrix:
@@ -59,25 +100,47 @@ def woodbury_h_inverse(E: sp.spmatrix, lam: float) -> sp.csr_matrix:
 
 def _blockwise_inverse(C: sp.csr_matrix) -> sp.csr_matrix:
     """Exact inverse of a block-diagonal sparse matrix (blocks found by
-    connected components of its sparsity graph)."""
+    connected components of its sparsity graph).
+
+    Blocks are gathered into dense ``(num_blocks, s, s)`` batches per
+    block size ``s`` and inverted with one batched ``np.linalg.inv`` call
+    each — no Python loop over block entries.
+    """
     k = C.shape[0]
     num_comp, labels = connected_components(C, directed=False)
-    rows = []
-    cols = []
-    data = []
+    sizes = np.bincount(labels, minlength=num_comp)
     order = np.argsort(labels, kind="stable")
-    boundaries = np.searchsorted(labels[order], np.arange(num_comp + 1))
-    for c in range(num_comp):
-        idx = order[boundaries[c] : boundaries[c + 1]]
-        block = C[np.ix_(idx, idx)].toarray()
-        inv = np.linalg.inv(block)
-        for a, ia in enumerate(idx):
-            for b, ib in enumerate(idx):
-                if inv[a, b] != 0.0:
-                    rows.append(ia)
-                    cols.append(ib)
-                    data.append(inv[a, b])
-    return sp.csr_matrix((data, (rows, cols)), shape=(k, k))
+    starts = np.concatenate([[0], np.cumsum(sizes)])
+    # Position of every index within its block: order lists block members
+    # contiguously, so subtracting each segment's start yields 0..s-1.
+    pos = np.empty(k, dtype=np.intp)
+    pos[order] = np.arange(k) - np.repeat(starts[:-1], sizes)
+
+    coo = C.tocoo()
+    entry_block = labels[coo.row]
+    out_rows = []
+    out_cols = []
+    out_data = []
+    for s in np.unique(sizes):
+        blocks = np.where(sizes == s)[0]
+        slot = np.full(num_comp, -1, dtype=np.intp)
+        slot[blocks] = np.arange(len(blocks))
+        mask = sizes[entry_block] == s
+        dense = np.zeros((len(blocks), s, s))
+        dense[
+            slot[entry_block[mask]], pos[coo.row[mask]], pos[coo.col[mask]]
+        ] = coo.data[mask]
+        inv = np.linalg.inv(dense)
+        idx = order[starts[blocks][:, None] + np.arange(s)[None, :]]
+        out_rows.append(np.repeat(idx, s, axis=1).ravel())
+        out_cols.append(np.tile(idx, (1, s)).ravel())
+        out_data.append(inv.reshape(len(blocks), s * s).ravel())
+    data = np.concatenate(out_data)
+    nz = data != 0.0
+    return sp.csr_matrix(
+        (data[nz], (np.concatenate(out_rows)[nz], np.concatenate(out_cols)[nz])),
+        shape=(k, k),
+    )
 
 
 def schur_tridiagonal(
@@ -126,6 +189,12 @@ class LegalizationSplitting:
         Equality structure and penalty, used for the Woodbury H⁻¹.
     params:
         β*, θ* constants.
+    fast_kernels:
+        Use the closed-form Woodbury inverse for the top-block solve, the
+        LAPACK banded factorization for the bottom block, and the fused
+        :meth:`apply_rhs` sweep.  ``False`` restores the pre-optimization
+        SuperLU path (kept for A/B benchmarking; results are identical to
+        floating-point noise).
     """
 
     def __init__(
@@ -135,10 +204,13 @@ class LegalizationSplitting:
         E: sp.spmatrix,
         lam: float,
         params: Optional[SplittingParameters] = None,
+        fast_kernels: bool = True,
     ) -> None:
         self.params = params or SplittingParameters()
         self.H = sp.csr_matrix(H)
         self.B = sp.csr_matrix(B)
+        self.E = sp.csr_matrix(E)
+        self.lam = float(lam)
         self.n = self.H.shape[0]
         self.m = self.B.shape[0]
         tracer = current_tracer()
@@ -146,21 +218,128 @@ class LegalizationSplitting:
             self.H_inv = woodbury_h_inverse(E, lam)
         with tracer.span("splitting.schur", m=self.m):
             self.D = schur_tridiagonal(self.B, self.H_inv)
+        self._setup_solvers(fast_kernels)
 
-        beta, theta = self.params.beta, self.params.theta
-        with tracer.span("splitting.factorize", nnz=int(self.H.nnz)):
-            top = (self.H / beta + sp.identity(self.n)).tocsc()
-            self._solve_top = spla.factorized(top)
-            if self.m:
-                bottom = (self.D / theta + sp.identity(self.m)).tocsc()
-                self._solve_bottom = spla.factorized(bottom)
+    # ------------------------------------------------------------------
+    # Solver setup (shared with GeneralSplitting)
+    # ------------------------------------------------------------------
+    def _setup_solvers(self, fast_kernels: bool) -> None:
+        """Prefactorize the block solves and allocate sweep buffers.
+
+        Expects ``self.H``, ``self.B``, ``self.D``, ``self.params`` (and,
+        for the Woodbury top-block shortcut, ``self.E``/``self.lam``) to
+        be set.
+        """
+        self.fast_kernels = fast_kernels
+        self.BT = self.B.T.tocsr()
+        tracer = current_tracer()
+        with tracer.span(
+            "splitting.factorize", nnz=int(self.H.nnz), fast=fast_kernels
+        ):
+            self._solve_top = self._build_top_solver(fast_kernels)
+            self._solve_bottom = (
+                self._build_bottom_solver(fast_kernels) if self.m else None
+            )
+        if fast_kernels:
+            # Preallocated sweep state: prescaled matrices plus buffers,
+            # so one fused rhs application allocates nothing.
+            self._D_theta = (self.D / self.params.theta).tocsr()
+            self._B_neg = (-self.B).tocsr()
+            self._rhs_buf = np.empty(self.n + self.m)
+            self._u_buf = np.empty(self.n)
+            self._w_buf = np.empty(self.m)
+        # The fused sweep is part of the fast path so `fast_kernels=False`
+        # reproduces the pre-optimization per-sweep work exactly.
+        self.apply_rhs: Optional[Callable] = (
+            self._apply_rhs_fused if fast_kernels else None
+        )
+
+    def _build_top_solver(self, fast_kernels: bool) -> Callable:
+        """Solver for ``H/β* + I``.
+
+        With ``H = I + λEᵀE``,
+
+            H/β* + I = ((1+β*)/β*) · (I + λ/(1+β*) · EᵀE),
+
+        the same diagonal-plus-blockwise structure as H itself, so its
+        exact inverse comes from :func:`woodbury_h_inverse` and one solve
+        is a single sparse matvec.  Verified on a probe vector; any
+        mismatch (caller passed a different H) falls back to SuperLU.
+        """
+        beta = self.params.beta
+        top = (self.H / beta + sp.identity(self.n)).tocsc()
+        E = getattr(self, "E", None)
+        lam = getattr(self, "lam", None)
+        self._H_inv_top: Optional[sp.csr_matrix] = None
+        if fast_kernels and E is not None and lam is not None:
+            alpha = (1.0 + beta) / beta
+            inv_top = (
+                woodbury_h_inverse(E, lam / (1.0 + beta)) / alpha
+            ).tocsr()
+            probe = self._probe_vector(self.n)
+            err = np.max(np.abs(top @ (inv_top @ probe) - probe))
+            if err <= _KERNEL_VERIFY_TOL * max(1.0, float(np.max(np.abs(probe)))):
+                self._H_inv_top = inv_top
+                return lambda r, _M=inv_top: _M @ r
+        return spla.factorized(top)
+
+    def _build_bottom_solver(self, fast_kernels: bool) -> Callable:
+        """Prefactorized solver for the tridiagonal ``D/θ* + I``.
+
+        LAPACK ``pttrf``/``pttrs`` (symmetric positive definite
+        tridiagonal) when it applies — D is the tridiagonal part of the
+        SPD Schur complement, so it virtually always does — else
+        ``gttrf``/``gttrs`` (general tridiagonal), else SuperLU.
+        """
+        theta = self.params.theta
+        bottom = (self.D / theta + sp.identity(self.m)).tocsr()
+        if fast_kernels:
+            d = bottom.diagonal()
+            if self.m == 1:
+                pivot = float(d[0])
+                if pivot != 0.0:
+                    return lambda r, _p=pivot: r / _p
             else:
-                self._solve_bottom = None
+                dl = bottom.diagonal(-1)
+                du = bottom.diagonal(1)
+                probe = self._probe_vector(self.m)
+                scale = max(1.0, float(np.max(np.abs(probe))))
+                if np.allclose(dl, du, rtol=1e-12, atol=1e-14):
+                    df, ef, info = lapack.dpttrf(d, dl)
+                    if info == 0:
+                        x, _ = lapack.dpttrs(df, ef, probe)
+                        if (
+                            np.max(np.abs(bottom @ x - probe))
+                            <= _KERNEL_VERIFY_TOL * scale
+                        ):
+                            return (
+                                lambda r, _d=df, _e=ef:
+                                lapack.dpttrs(_d, _e, r)[0]
+                            )
+                dlf, df, duf, du2, ipiv, info = lapack.dgttrf(dl, d, du)
+                if info == 0:
+                    x, _ = lapack.dgttrs(dlf, df, duf, du2, ipiv, probe)
+                    if (
+                        np.max(np.abs(bottom @ x - probe))
+                        <= _KERNEL_VERIFY_TOL * scale
+                    ):
+                        return (
+                            lambda r, _a=dlf, _b=df, _c=duf, _d2=du2, _p=ipiv:
+                            lapack.dgttrs(_a, _b, _c, _d2, _p, r)[0]
+                        )
+        return spla.factorized(bottom.tocsc())
+
+    @staticmethod
+    def _probe_vector(size: int) -> np.ndarray:
+        return np.random.default_rng(20170618).standard_normal(size)
 
     # ------------------------------------------------------------------
     # Splitting protocol
     # ------------------------------------------------------------------
     def apply_N(self, s: np.ndarray) -> np.ndarray:
+        # Reference implementation (and the pre-optimization sweep, kept
+        # verbatim for honest `fast_kernels=False` A/B benchmarks); the
+        # solver uses the fused apply_rhs on the fast path instead.
         s1, s2 = s[: self.n], s[self.n :]
         beta, theta = self.params.beta, self.params.theta
         top = (1.0 / beta - 1.0) * (self.H @ s1)
@@ -179,13 +358,64 @@ class LegalizationSplitting:
             return np.concatenate([top, bottom])
         return top
 
+    def _apply_rhs_fused(
+        self, s: np.ndarray, s_abs: np.ndarray, gq: np.ndarray
+    ) -> np.ndarray:
+        """One-pass ``N s + (Ω − A)|s| − γq`` into a reused buffer.
+
+        Folding the two N/(Ω−A) applications shares each sparse product:
+
+            top    = H @ ((1/β*−1)·s₁ − |s|₁) + Bᵀ @ (s₂ + |s|₂) + |s|₁ − γq₁
+            bottom = (D/θ*) @ s₂ − B @ |s|₁ + |s|₂ − γq₂
+
+        — one matvec per matrix instead of two, every matvec accumulated
+        straight into a preallocated buffer (no ``np.concatenate``, no
+        temporaries).  The returned array is owned by the splitting and
+        overwritten by the next call; the MMSIM consumes it immediately.
+        """
+        n = self.n
+        s1 = s[:n]
+        t1 = s_abs[:n]
+        u = self._u_buf
+        np.multiply(s1, 1.0 / self.params.beta - 1.0, out=u)
+        u -= t1
+        out = self._rhs_buf
+        top = out[:n]
+        np.subtract(t1, gq[:n], out=top)
+        _csr_matvec_into(self.H, u, top)
+        if self.m:
+            s2 = s[n:]
+            t2 = s_abs[n:]
+            w = self._w_buf
+            np.add(s2, t2, out=w)
+            _csr_matvec_into(self.BT, w, top)
+            bottom = out[n:]
+            np.subtract(t2, gq[n:], out=bottom)
+            _csr_matvec_into(self._D_theta, s2, bottom)
+            _csr_matvec_into(self._B_neg, t1, bottom)
+        return out
+
     def solve_M_plus_omega(self, rhs: np.ndarray) -> np.ndarray:
-        r1, r2 = rhs[: self.n], rhs[self.n :]
-        s1 = self._solve_top(r1)
-        if not self.m:
-            return s1
-        s2 = self._solve_bottom(r2 - self.B @ s1)
-        return np.concatenate([s1, s2])
+        if not self.fast_kernels:
+            s1 = self._solve_top(rhs[: self.n])
+            if not self.m:
+                return np.asarray(s1)
+            return np.concatenate(
+                [s1, self._solve_bottom(rhs[self.n :] - self.B @ s1)]
+            )
+        n = self.n
+        out = np.zeros(n + self.m)
+        s1 = out[:n]
+        if self._H_inv_top is not None:
+            _csr_matvec_into(self._H_inv_top, rhs[:n], s1)
+        else:
+            s1[:] = self._solve_top(rhs[:n])
+        if self.m:
+            w = self._w_buf
+            np.copyto(w, rhs[n:])
+            _csr_matvec_into(self._B_neg, s1, w)
+            out[n:] = self._solve_bottom(w)
+        return out
 
     # ------------------------------------------------------------------
     # Theorem 2 convergence window
@@ -200,7 +430,7 @@ class LegalizationSplitting:
         v /= np.linalg.norm(v)
         mu = 0.0
         for _ in range(iterations):
-            w = solve_D(self.B @ (self.H_inv @ (self.B.T @ v)))
+            w = solve_D(self.B @ (self.H_inv @ (self.BT @ v)))
             norm = np.linalg.norm(w)
             if norm == 0.0:
                 return 0.0

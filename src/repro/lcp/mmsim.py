@@ -45,6 +45,14 @@ class Splitting(Protocol):
         ...
 
 
+# Splittings may additionally expose ``apply_rhs(s, s_abs, gq)`` returning
+# ``N s + (Ω − A)|s| − gq`` in one fused pass (possibly into a reused
+# buffer that the solver must consume before the next call).  When the
+# attribute is present and not None the solver prefers it over the
+# separate apply_N / apply_omega_minus_A calls; the two paths compute the
+# same iterate (see tests/test_splitting.py kernel-parity tests).
+
+
 @dataclass
 class MMSIMOptions:
     """Iteration controls for :func:`mmsim_solve`.
@@ -53,6 +61,11 @@ class MMSIMOptions:
     ``tol`` is ε applied to ``‖z^k − z^{k-1}‖_inf``; ``residual_tol``
     additionally requires the LCP natural residual to be small, which avoids
     declaring convergence on a slowly-moving but wrong iterate.
+
+    ``check_every`` rate-limits the convergence test: the (residual-
+    computing) check only runs on iterations divisible by it — and on the
+    final iteration, so a run that converges between checkpoints is still
+    detected at ``max_iterations``.  The default of 1 checks every sweep.
 
     ``damping`` relaxes the update to ``s ← ω·ŝ + (1−ω)·s`` (ω = 1 is the
     paper's plain iteration; the fixed points are identical for any
@@ -96,6 +109,8 @@ class MMSIMOptions:
             raise ValueError("max_iterations must be >= 1")
         if not 0.0 < self.damping <= 1.0:
             raise ValueError("damping must be in (0, 1]")
+        if self.check_every < 1:
+            raise ValueError("check_every must be >= 1")
         if self.history_limit < 1:
             raise ValueError("history_limit must be >= 1")
         if self.record_history:
@@ -131,6 +146,7 @@ def mmsim_solve(
     z_prev = (np.abs(s) + s) / gamma
     history = deque(maxlen=opts.history_limit) if opts.record_history else None
     emit = opts.telemetry.emit if opts.telemetry is not None else None
+    fused = getattr(splitting, "apply_rhs", None)
     gq = gamma * lcp.q
     iterations = 0
     converged = False
@@ -140,16 +156,35 @@ def mmsim_solve(
     for k in range(1, opts.max_iterations + 1):
         iterations = k
         s_abs = np.abs(s)
-        rhs = splitting.apply_N(s) + splitting.apply_omega_minus_A(s_abs) - gq
+        if fused is not None:
+            rhs = fused(s, s_abs, gq)
+        else:
+            rhs = (
+                splitting.apply_N(s)
+                + splitting.apply_omega_minus_A(s_abs)
+                - gq
+            )
         s_hat = splitting.solve_M_plus_omega(rhs)
         s = s_hat if omega == 1.0 else omega * s_hat + (1.0 - omega) * s
-        z = (np.abs(s) + s) / gamma
-        step = float(np.max(np.abs(z - z_prev))) if n else 0.0
+        # z = (|s| + s)/γ and the inf-norm z-step, in place: the retired
+        # z_prev buffer absorbs the difference, so the sweep allocates
+        # only z itself.
+        z = np.abs(s)
+        z += s
+        z /= gamma
+        if n:
+            np.subtract(z, z_prev, out=z_prev)
+            np.abs(z_prev, out=z_prev)
+            step = float(z_prev.max())
+        else:
+            step = 0.0
         if history is not None:
             history.append(step)
         z_prev = z
         residual_k: Optional[float] = None
-        if step < opts.tol and (k % opts.check_every == 0 or True):
+        if step < opts.tol and (
+            k % opts.check_every == 0 or k == opts.max_iterations
+        ):
             if opts.residual_tol is None:
                 converged = True
             else:

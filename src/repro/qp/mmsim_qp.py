@@ -50,10 +50,16 @@ class GeneralSplitting(LegalizationSplitting):
         H: sp.spmatrix,
         B: sp.spmatrix,
         params: Optional[SplittingParameters] = None,
+        fast_kernels: bool = True,
     ) -> None:
         self.params = params or SplittingParameters()
         self.H = sp.csr_matrix(H)
         self.B = sp.csr_matrix(B)
+        # No (E, λ) structure: the shared solver setup then keeps SuperLU
+        # for the top block but still gets the banded bottom solve and the
+        # fused sweep.
+        self.E = None
+        self.lam = None
         self.n = self.H.shape[0]
         self.m = self.B.shape[0]
         tracer = current_tracer()
@@ -62,16 +68,7 @@ class GeneralSplitting(LegalizationSplitting):
         self.H_inv = None  # not formed explicitly
         with tracer.span("splitting.schur", m=self.m):
             self.D = self._schur_tridiagonal_via_solves()
-
-        beta, theta = self.params.beta, self.params.theta
-        with tracer.span("splitting.factorize"):
-            top = (self.H / beta + sp.identity(self.n)).tocsc()
-            self._solve_top = spla.factorized(top)
-            if self.m:
-                bottom = (self.D / theta + sp.identity(self.m)).tocsc()
-                self._solve_bottom = spla.factorized(bottom)
-            else:
-                self._solve_bottom = None
+        self._setup_solvers(fast_kernels)
 
     def _schur_tridiagonal_via_solves(self) -> sp.csr_matrix:
         """tridiag(B H⁻¹ Bᵀ) using one H-solve per B row.

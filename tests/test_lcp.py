@@ -191,6 +191,52 @@ class TestGenericMMSIM:
         with pytest.raises(ValueError):
             MMSIMOptions(max_iterations=0)
 
+    def test_check_every_rate_limits_residual_checks(self):
+        """Regression: ``check_every`` used to be short-circuited by an
+        ``or True`` and the residual was computed on *every* sub-tol sweep.
+        It must now only run on iterations divisible by check_every (plus
+        the final iteration)."""
+        lcp = random_spd_lcp(8, 29)
+        calls = []
+        orig = lcp.natural_residual
+
+        def counting(z):
+            calls.append(1)
+            return orig(z)
+
+        lcp.natural_residual = counting
+        res = mmsim_solve(
+            lcp,
+            ExactSplitting(lcp.A),
+            MMSIMOptions(tol=1e-6, residual_tol=1e-4, check_every=1000),
+        )
+        # ExactSplitting drops the step below tol almost immediately, so an
+        # unthrottled loop would evaluate the residual on nearly every one
+        # of the sweeps before iteration 1000.  Throttled, the only calls
+        # are the convergence checkpoint plus the final-result residual.
+        assert res.converged
+        assert res.iterations == 1000
+        assert len(calls) == 2
+
+    def test_check_every_converges_on_final_iteration(self):
+        """A run whose budget ends between checkpoints must still detect
+        convergence on the last iteration."""
+        lcp = random_spd_lcp(8, 31)
+        res = mmsim_solve(
+            lcp,
+            ExactSplitting(lcp.A),
+            MMSIMOptions(
+                tol=1e-6, residual_tol=1e-4, check_every=1000,
+                max_iterations=15,
+            ),
+        )
+        assert res.converged
+        assert res.iterations == 15
+
+    def test_check_every_validation(self):
+        with pytest.raises(ValueError):
+            MMSIMOptions(check_every=0)
+
     def test_history_recorded(self):
         lcp = random_spd_lcp(6, 23)
         res = mmsim_solve(

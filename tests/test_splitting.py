@@ -128,6 +128,77 @@ class TestLegalizationSplitting:
         assert bound > 0.5  # paper's θ* = 0.5 is inside
         assert spl.parameters_satisfy_theorem2(mu)
 
+    def test_fast_kernels_selected_on_legalization_structure(self):
+        """With H = I + λEᵀE the Woodbury top inverse must be installed
+        (no SuperLU in the sweep)."""
+        lq = _mixed_qp(scale=0.01)
+        spl = LegalizationSplitting(lq.qp.H, lq.qp.B, lq.E, lq.lam)
+        assert spl.fast_kernels
+        assert spl._H_inv_top is not None
+
+    def test_fast_solve_matches_superlu(self):
+        """Kernel parity: Woodbury + banded solves vs the factorized
+        reference, to 1e-10 on random right-hand sides."""
+        lq = _mixed_qp(scale=0.01)
+        fast = LegalizationSplitting(
+            lq.qp.H, lq.qp.B, lq.E, lq.lam, fast_kernels=True
+        )
+        slow = LegalizationSplitting(
+            lq.qp.H, lq.qp.B, lq.E, lq.lam, fast_kernels=False
+        )
+        rng = np.random.default_rng(42)
+        for _ in range(5):
+            rhs = rng.standard_normal(fast.n + fast.m)
+            got = fast.solve_M_plus_omega(rhs)
+            want = slow.solve_M_plus_omega(rhs)
+            assert np.max(np.abs(got - want)) < 1e-10
+
+    def test_fused_rhs_matches_reference(self):
+        """apply_rhs must equal apply_N + apply_omega_minus_A − γq."""
+        lq = _mixed_qp(scale=0.01)
+        spl = LegalizationSplitting(lq.qp.H, lq.qp.B, lq.E, lq.lam)
+        assert spl.apply_rhs is not None
+        rng = np.random.default_rng(7)
+        gq = 2.0 * lq.qp.kkt_lcp().q
+        for _ in range(5):
+            s = rng.standard_normal(spl.n + spl.m)
+            s_abs = np.abs(s)
+            want = spl.apply_N(s) + spl.apply_omega_minus_A(s_abs) - gq
+            got = spl.apply_rhs(s, s_abs, gq)
+            assert np.max(np.abs(got - want)) < 1e-10
+
+    def test_fused_rhs_buffer_reuse_is_consumed_safely(self):
+        """Two successive calls return the same buffer object; the second
+        call's contents must be correct (the first result is retired)."""
+        lq = _mixed_qp(scale=0.005)
+        spl = LegalizationSplitting(lq.qp.H, lq.qp.B, lq.E, lq.lam)
+        gq = 2.0 * lq.qp.kkt_lcp().q
+        rng = np.random.default_rng(11)
+        s1 = rng.standard_normal(spl.n + spl.m)
+        s2 = rng.standard_normal(spl.n + spl.m)
+        out1 = spl.apply_rhs(s1, np.abs(s1), gq)
+        out2 = spl.apply_rhs(s2, np.abs(s2), gq)
+        assert out1 is out2
+        want = spl.apply_N(s2) + spl.apply_omega_minus_A(np.abs(s2)) - gq
+        assert np.allclose(out2, want, atol=1e-10)
+
+    def test_fast_path_falls_back_on_foreign_H(self):
+        """An H without the I + λEᵀE structure must fail the probe check
+        and fall back to the factorized solver — still exact."""
+        lq = _mixed_qp(scale=0.005)
+        H = lq.qp.H + 0.5 * sp.identity(lq.qp.H.shape[0])  # breaks the form
+        spl = LegalizationSplitting(H, lq.qp.B, lq.E, lq.lam)
+        assert spl._H_inv_top is None  # Woodbury rejected by the probe
+        rng = np.random.default_rng(3)
+        rhs = rng.standard_normal(spl.n + spl.m)
+        top = (H / spl.params.beta + sp.identity(spl.n)).toarray()
+        bottom = (spl.D / spl.params.theta + sp.identity(spl.m)).toarray()
+        # Block lower-triangular solve done densely as the oracle.
+        s1 = np.linalg.solve(top, rhs[: spl.n])
+        s2 = np.linalg.solve(bottom, rhs[spl.n :] - spl.B @ s1)
+        got = spl.solve_M_plus_omega(rhs)
+        assert np.allclose(got, np.concatenate([s1, s2]), atol=1e-8)
+
     def test_no_constraints_degenerate_case(self):
         """A single-cell design has no constraints; the splitting still works."""
         from repro.netlist import CellMaster, Design

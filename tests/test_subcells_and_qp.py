@@ -163,6 +163,38 @@ class TestSubcellModel:
             build_legalization_qp(small_mixed_design, model, lam=0.0)
 
 
+class TestLegalizationQPLower:
+    def test_none_lower_materializes_to_zeros(self, empty_design, single_master):
+        """``lower=None`` must become a real zero vector so to_positions
+        never needs a None branch."""
+        from repro.core.qp_builder import LegalizationQP
+
+        empty_design.add_cell("c", single_master, 7.0, 0.0)
+        model = split_cells(empty_design, assign_rows(empty_design))
+        lq = build_legalization_qp(empty_design, model)
+        bare = LegalizationQP(
+            qp=lq.qp, E=lq.E, lam=lq.lam, x_origin=lq.x_origin, model=model
+        )
+        assert isinstance(bare.lower, np.ndarray)
+        assert bare.lower.shape == (lq.num_variables,)
+        assert np.all(bare.lower == 0.0)
+        y = np.array([3.0])
+        assert np.array_equal(bare.to_positions(y), y)
+
+    def test_explicit_lower_coerced_and_applied(self, empty_design, single_master):
+        from repro.core.qp_builder import LegalizationQP
+
+        empty_design.add_cell("c", single_master, 7.0, 0.0)
+        model = split_cells(empty_design, assign_rows(empty_design))
+        lq = build_legalization_qp(empty_design, model)
+        shifted = LegalizationQP(
+            qp=lq.qp, E=lq.E, lam=lq.lam, x_origin=lq.x_origin,
+            model=model, lower=[2.5],
+        )
+        assert shifted.lower.dtype == float
+        assert np.array_equal(shifted.to_positions(np.array([1.0])), [3.5])
+
+
 def _unassigned(design):
     """A RowAssignment-shaped object for a design without assignments."""
     from repro.core.row_assign import RowAssignment
