@@ -89,6 +89,7 @@ def cmd_legalize(args: argparse.Namespace) -> int:
             shard=not args.no_shard,
             parallel=args.parallel,
             max_workers=args.workers,
+            fallback=args.fallback,
         )
         if args.lam is not None:
             config.lam = args.lam
@@ -108,14 +109,30 @@ def cmd_legalize(args: argparse.Namespace) -> int:
         result = legalizer.legalize(design)
 
     print(result.summary())
-    report = check_legality(design)
+    # The MMSIM flow audits itself (mandatory post-flow check_legality);
+    # other algorithms are audited here so no path can report success on
+    # an illegal placement.
+    report = getattr(result, "legality", None)
+    if report is None:
+        report = check_legality(design)
     print(report.summary())
+    for escalation in getattr(result, "solver_escalations", []):
+        print(" ", escalation.summary())
     if args.output:
         _save(design, args.output)
     if args.svg:
         save_svg(design, args.svg)
         print(f"wrote {args.svg}")
-    return 0 if report.is_legal else 1
+    if not report.is_legal:
+        if args.fail_on_illegal:
+            print(
+                f"error: legality audit found {len(report.violations)} "
+                "violation(s)",
+                file=sys.stderr,
+            )
+            return 2
+        return 1
+    return 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -213,6 +230,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "(mmsim only)")
     p.add_argument("--workers", type=int, default=None, metavar="N",
                    help="thread-pool size for --parallel (default: cpu count)")
+    p.add_argument("--fallback", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="per-shard solver fallback chain: re-solve a "
+                        "non-converging shard down safe-kernel MMSIM -> "
+                        "PSOR -> Lemke -> clamp instead of propagating a "
+                        "half-iterated placement (mmsim only; on by "
+                        "default, never changes a healthy run's output)")
+    p.add_argument("--fail-on-illegal", action="store_true",
+                   help="exit with status 2 if the post-flow legality "
+                        "audit finds any violation (for CI gates)")
     p.add_argument("--output", default=None)
     p.add_argument("--svg", default=None)
     p.add_argument("--trace", default=None, metavar="PATH",

@@ -14,6 +14,15 @@ from repro.core.qp_builder import (
     build_constraints,
     build_legalization_qp,
 )
+from repro.core.resilience import (
+    RUNGS,
+    ResilienceConfig,
+    RungAttempt,
+    ShardEscalation,
+    solve_monolithic_resilient,
+    solve_shard_resilient,
+    solve_sharded_resilient,
+)
 from repro.core.row_assign import RowAssignment, assign_rows
 from repro.core.sharding import (
     Shard,
@@ -61,4 +70,11 @@ __all__ = [
     "solve_sharded",
     "tetris_allocate",
     "TetrisFixStats",
+    "RUNGS",
+    "ResilienceConfig",
+    "RungAttempt",
+    "ShardEscalation",
+    "solve_monolithic_resilient",
+    "solve_shard_resilient",
+    "solve_sharded_resilient",
 ]

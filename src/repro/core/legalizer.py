@@ -19,12 +19,19 @@ Section 5.3).
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.core.qp_builder import LegalizationQP, build_legalization_qp
+from repro.core.resilience import (
+    ResilienceConfig,
+    ShardEscalation,
+    solve_monolithic_resilient,
+    solve_sharded_resilient,
+)
 from repro.core.row_assign import assign_rows
 from repro.core.sharding import shard_legalization_qp, solve_sharded
 from repro.core.splitting import LegalizationSplitting, SplittingParameters
@@ -32,6 +39,8 @@ from repro.core.subcells import restore_cells, split_cells
 from repro.core.tetris_fix import TetrisFixStats, tetris_allocate
 from repro.lcp.mmsim import MMSIMOptions, mmsim_solve
 from repro.lcp.problem import split_kkt_solution
+from repro.legality.checker import check_legality
+from repro.legality.violations import LegalityReport
 from repro.metrics.displacement import DisplacementStats, displacement_stats
 from repro.metrics.hpwl import WirelengthStats, wirelength_stats
 from repro.netlist.design import Design
@@ -86,6 +95,28 @@ class LegalizerConfig:
     #: solve + fused sweep (see repro.core.splitting).  ``False`` restores
     #: the pre-optimization SuperLU kernels for A/B benchmarking.
     fast_kernels: bool = True
+    #: Per-shard solver fallback chain (see repro.core.resilience): a
+    #: shard whose MMSIM fails to converge — or whose kernels raise — is
+    #: re-solved down safe-kernel MMSIM → PSOR → Lemke → clamp instead of
+    #: propagating a half-iterated placement.  Shards that converge are
+    #: untouched, so enabling this never changes a healthy run's output.
+    fallback: bool = True
+    #: Tunables (and the fault-injection hook) for ``fallback``; None
+    #: uses the :class:`repro.core.resilience.ResilienceConfig` defaults.
+    resilience: Optional[ResilienceConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.record_history:
+            warnings.warn(
+                "LegalizerConfig.record_history is deprecated: per-sweep "
+                "convergence data now flows through the telemetry event "
+                "sink (run inside repro.telemetry.session() and read the "
+                "solver 'iteration' events). The flag still populates "
+                "LegalizationResult.residual_history, bounded to the most "
+                "recent MMSIMOptions.history_limit steps.",
+                DeprecationWarning,
+                stacklevel=2,
+            )
 
 
 @dataclass
@@ -109,6 +140,11 @@ class LegalizationResult:
     qp_objective: float = 0.0
     theorem2_ok: Optional[bool] = None
     residual_history: list = field(default_factory=list)
+    #: One record per shard whose primary MMSIM failed and walked the
+    #: solver fallback ladder (empty on healthy runs).
+    solver_escalations: List[ShardEscalation] = field(default_factory=list)
+    #: The mandatory post-flow legality audit (independent checker).
+    legality: Optional[LegalityReport] = None
 
     @property
     def runtime(self) -> float:
@@ -117,6 +153,11 @@ class LegalizationResult:
     @property
     def num_illegal(self) -> int:
         return self.tetris.num_illegal
+
+    @property
+    def audit_clean(self) -> bool:
+        """True when the post-flow legality audit found zero violations."""
+        return self.legality is not None and self.legality.is_legal
 
     def summary(self) -> str:
         disp = (
@@ -129,12 +170,20 @@ class LegalizationResult:
             if self.wirelength
             else "n/a"
         )
-        return (
+        text = (
             f"{self.design_name}: disp={disp}, ΔHPWL={dh}, "
             f"illegal={self.num_illegal}/{self.num_cells} "
             f"({100 * self.tetris.illegal_fraction:.2f}%), "
             f"mmsim_iters={self.iterations}, runtime={self.runtime:.2f}s"
         )
+        if self.solver_escalations:
+            winners = ",".join(e.winner for e in self.solver_escalations)
+            text += (
+                f", escalations={len(self.solver_escalations)} [{winners}]"
+            )
+        if self.legality is not None:
+            text += f", audit={'clean' if self.legality.is_legal else 'ILLEGAL'}"
+        return text
 
 
 class MMSIMLegalizer:
@@ -245,20 +294,40 @@ class MMSIMLegalizer:
                     record_history=cfg.record_history,
                     telemetry=tel.solver_events,
                 )
+                rcfg = (
+                    (cfg.resilience or ResilienceConfig())
+                    if cfg.fallback
+                    else None
+                )
+                escalations: List[ShardEscalation] = []
                 if sharded is not None:
-                    mmsim_result = solve_sharded(
-                        sharded,
-                        options,
-                        s0=s0,
-                        max_workers=(
-                            (cfg.max_workers or os.cpu_count() or 1)
-                            if cfg.parallel
-                            else None
-                        ),
+                    max_workers = (
+                        (cfg.max_workers or os.cpu_count() or 1)
+                        if cfg.parallel
+                        else None
                     )
+                    if rcfg is not None:
+                        mmsim_result, escalations = solve_sharded_resilient(
+                            sharded,
+                            options,
+                            s0=s0,
+                            max_workers=max_workers,
+                            config=rcfg,
+                        )
+                    else:
+                        mmsim_result = solve_sharded(
+                            sharded, options, s0=s0, max_workers=max_workers
+                        )
                 else:
                     lcp = legal_qp.qp.kkt_lcp()
-                    mmsim_result = mmsim_solve(lcp, splitting, options, s0=s0)
+                    if rcfg is not None:
+                        mmsim_result, escalations = solve_monolithic_resilient(
+                            lcp, splitting, options, s0=s0, config=rcfg
+                        )
+                    else:
+                        mmsim_result = mmsim_solve(
+                            lcp, splitting, options, s0=s0
+                        )
                 y, _r = split_kkt_solution(
                     mmsim_result.z, legal_qp.num_variables
                 )
@@ -267,6 +336,7 @@ class MMSIMLegalizer:
                     iterations=mmsim_result.iterations,
                     converged=mmsim_result.converged,
                     residual=mmsim_result.residual,
+                    escalations=len(escalations),
                 )
                 metrics.counter("mmsim.iterations").inc(mmsim_result.iterations)
                 metrics.counter("mmsim.solves").inc()
@@ -284,6 +354,18 @@ class MMSIMLegalizer:
                 metrics.counter("legalizer.illegal_after_qp").inc(
                     tetris_stats.num_illegal
                 )
+
+            # Mandatory post-flow audit: the flow must never report
+            # success on an illegal placement, whatever path (fallbacks
+            # included) produced it.  The checker is independent of the
+            # legalizer's own bookkeeping by design.
+            with tracer.span("audit") as span:
+                legality = check_legality(design)
+                span.set_attribute("violations", len(legality.violations))
+                if not legality.is_legal:
+                    metrics.counter("legalizer.audit_violations").inc(
+                        len(legality.violations)
+                    )
 
             with tracer.span("metrics"):
                 disp = displacement_stats(design)
@@ -318,6 +400,8 @@ class MMSIMLegalizer:
             qp_objective=legal_qp.qp.objective(y),
             theorem2_ok=theorem2_ok,
             residual_history=mmsim_result.residual_history,
+            solver_escalations=escalations,
+            legality=legality,
         )
 
     # ------------------------------------------------------------------

@@ -33,7 +33,7 @@ from __future__ import annotations
 import dataclasses
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -215,11 +215,25 @@ def shard_legalization_qp(
     )
 
 
+#: Per-shard solve hook: ``(shard, options, s0_slice) -> LCPResult``.
+#: The default runs :func:`repro.lcp.mmsim.mmsim_solve` on the shard's
+#: prefactorized splitting; :mod:`repro.core.resilience` substitutes the
+#: fallback-ladder solver.
+ShardSolver = Callable[[Shard, MMSIMOptions, Optional[np.ndarray]], LCPResult]
+
+
+def _default_shard_solver(
+    shard: Shard, opts: MMSIMOptions, s0: Optional[np.ndarray]
+) -> LCPResult:
+    return mmsim_solve(shard.lcp, shard.splitting, opts, s0=s0)
+
+
 def solve_sharded(
     sharded: ShardedKKT,
     options: Optional[MMSIMOptions] = None,
     s0: Optional[np.ndarray] = None,
     max_workers: Optional[int] = None,
+    shard_solver: Optional[ShardSolver] = None,
 ) -> LCPResult:
     """Run the MMSIM on every shard and scatter back one global solution.
 
@@ -229,6 +243,11 @@ def solve_sharded(
     events are suppressed in that mode since the sinks are not meant for
     concurrent emitters.
 
+    ``shard_solver`` replaces the per-shard solve (default: the plain
+    MMSIM); :func:`repro.core.resilience.solve_sharded_resilient` uses it
+    to run each shard down the solver fallback ladder.  The hook must be
+    thread-safe when ``max_workers`` is set.
+
     The aggregate :class:`LCPResult` reports ``iterations`` as the
     maximum over shards (the serial-equivalent sweep count),
     ``residual`` as the max shard residual (equal to the global natural
@@ -236,6 +255,7 @@ def solve_sharded(
     shard converged.
     """
     opts = options or MMSIMOptions()
+    solver = shard_solver or _default_shard_solver
     n = sharded.n
     parallel = max_workers is not None and sharded.num_shards > 1
     shard_opts = (
@@ -248,7 +268,7 @@ def solve_sharded(
             s0_s = np.concatenate(
                 [s0[shard.variables], s0[n + shard.b_rows]]
             )
-        return mmsim_solve(shard.lcp, shard.splitting, shard_opts, s0=s0_s)
+        return solver(shard, shard_opts, s0_s)
 
     if parallel:
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
@@ -284,7 +304,7 @@ def solve_sharded(
     message = "" if converged else f"{stalled} shard(s) hit max iterations"
     if rescued:
         message = (
-            message + f"; stall rescued with damping 0.7 in {rescued} shard(s)"
+            message + f"; stall rescued in {rescued} shard(s)"
         ).lstrip("; ")
     return LCPResult(
         z=z,

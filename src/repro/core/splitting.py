@@ -220,6 +220,22 @@ class LegalizationSplitting:
             self.D = schur_tridiagonal(self.B, self.H_inv)
         self._setup_solvers(fast_kernels)
 
+    def rebuilt(self, fast_kernels: bool = False) -> "LegalizationSplitting":
+        """A fresh splitting over the same blocks with different kernels.
+
+        The solver fallback ladder (:mod:`repro.core.resilience`) uses
+        this to retry a failed shard on the reference SuperLU path,
+        ruling the specialized Woodbury/LAPACK kernels out as the cause.
+        """
+        return LegalizationSplitting(
+            self.H,
+            self.B,
+            self.E,
+            self.lam,
+            params=self.params,
+            fast_kernels=fast_kernels,
+        )
+
     # ------------------------------------------------------------------
     # Solver setup (shared with GeneralSplitting)
     # ------------------------------------------------------------------

@@ -19,6 +19,7 @@ final result "near-optimal" rather than optimal on dense designs.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -34,7 +35,11 @@ class TetrisFixStats:
     num_cells: int = 0
     num_illegal: int = 0
     num_unplaced: int = 0
-    fix_displacement: float = 0.0   # Manhattan distance moved while fixing
+    #: Total Manhattan distance movable cells moved during the fixing
+    #: passes (nearest-free re-placement, compaction, eviction, and the
+    #: PlaceRow refinement) — every move is charged, not just the
+    #: directly re-placed illegal cells.
+    fix_displacement: float = 0.0
     illegal_cell_ids: List[int] = field(default_factory=list)
 
     @property
@@ -48,13 +53,33 @@ def tetris_allocate(design: Design) -> TetrisFixStats:
     site_map = SiteMap(core)
     stats = TetrisFixStats(num_cells=len(design.movable_cells))
 
-    # Fixed cells are obstacles: block their footprints first.
+    # Fixed cells are obstacles: block their footprints first.  A fixed
+    # cell need not be row- or site-aligned (macros and pre-placed blocks
+    # often aren't), so the blocked region is the full span of sites/rows
+    # its rectangle *touches* — rounding to the nearest row/site would
+    # leave partially-covered sites marked free and invite overlaps.
+    # Parts outside the core block nothing (there is nothing to block).
     for cell in design.cells:
         if not cell.fixed:
             continue
-        row = core.row_of_y(cell.y)
-        site = int(round((cell.x - core.xl) / core.site_width))
-        site_map.occupy_cell(cell, row, site)
+        site_lo = int(math.floor((cell.x - core.xl) / core.site_width + 1e-9))
+        site_hi = int(
+            math.ceil((cell.x + cell.width - core.xl) / core.site_width - 1e-9)
+        )
+        row_lo = int(math.floor((cell.y - core.yl) / core.row_height + 1e-9))
+        row_hi = int(
+            math.ceil(
+                (cell.y + cell.height(core.row_height) - core.yl)
+                / core.row_height
+                - 1e-9
+            )
+        )
+        site_lo = max(site_lo, 0)
+        site_hi = min(site_hi, core.num_sites)
+        if site_hi <= site_lo:
+            continue
+        for row in range(max(row_lo, 0), min(row_hi, core.num_rows)):
+            site_map.occupy(row, site_lo, site_hi - site_lo)
 
     # Pass 1: snap to sites and commit in x order; collect illegal cells.
     order = sorted(design.movable_cells, key=lambda c: (c.x, c.id))
@@ -74,6 +99,13 @@ def tetris_allocate(design: Design) -> TetrisFixStats:
 
     stats.num_illegal = len(illegal)
     stats.illegal_cell_ids = [c.id for c in illegal]
+
+    # fix_displacement must charge *every* move the fixing passes make —
+    # compaction shifts, evictions, and the PlaceRow refinement move
+    # legally-committed cells too, not just the illegal ones that
+    # place_at_nearest_free relocates.  Snapshot all movable positions
+    # here and total the Manhattan diffs on exit.
+    pre_fix = {c.id: (c.x, c.y) for c in design.movable_cells}
 
     # Pass 2: nearest-free-site re-placement of illegal cells; when free
     # space is too fragmented, compact a row span to make room.  Cells not
@@ -101,6 +133,11 @@ def tetris_allocate(design: Design) -> TetrisFixStats:
         from repro.baselines.refine import placerow_refine
 
         placerow_refine(design)
+
+    stats.fix_displacement = sum(
+        abs(c.x - pre_fix[c.id][0]) + abs(c.y - pre_fix[c.id][1])
+        for c in design.movable_cells
+    )
     return stats
 
 

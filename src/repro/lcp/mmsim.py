@@ -70,11 +70,16 @@ class MMSIMOptions:
     ``damping`` relaxes the update to ``s ← ω·ŝ + (1−ω)·s`` (ω = 1 is the
     paper's plain iteration; the fixed points are identical for any
     ω ∈ (0, 1]).  With ``auto_damping`` (default), a stalled iteration —
-    the z-step not shrinking over ``stall_window`` sweeps — switches to
-    ω = 0.7 once: the plain modulus iteration provably *can* enter a
-    2-cycle on valid mixed-height instances even inside the paper's
-    parameter window, and damping reliably collapses the cycle onto the
-    fixed point (see ``tests/test_mmsim_stall_rescue.py``).
+    the z-step not shrinking over ``stall_window`` sweeps — multiplies ω
+    by ``rescue_damping`` (0.7): the plain modulus iteration provably
+    *can* enter a 2-cycle on valid mixed-height instances even inside the
+    paper's parameter window, and damping reliably collapses the cycle
+    onto the fixed point (see ``tests/test_mmsim_stall_rescue.py``).  If
+    the iteration is *still* stalled a window later the rescue escalates
+    (ω ← 0.7·ω, …) down to ``min_damping`` — some cycles survive ω = 0.7
+    but collapse at 0.5 (found by fuzzing; see
+    ``tests/test_mmsim_vs_lemke.py``).  A run that never stalls is
+    bit-identical to the plain iteration.
 
     ``telemetry`` is an optional event sink (anything with an
     ``emit(solver, type, **fields)`` method, normally a
@@ -99,6 +104,8 @@ class MMSIMOptions:
     damping: float = 1.0
     auto_damping: bool = True
     stall_window: int = 500
+    rescue_damping: float = 0.7
+    min_damping: float = 0.2
     telemetry: Optional[object] = None
     history_limit: int = 50000
 
@@ -111,6 +118,10 @@ class MMSIMOptions:
             raise ValueError("damping must be in (0, 1]")
         if self.check_every < 1:
             raise ValueError("check_every must be >= 1")
+        if not 0.0 < self.rescue_damping < 1.0:
+            raise ValueError("rescue_damping must be in (0, 1)")
+        if not 0.0 < self.min_damping <= 1.0:
+            raise ValueError("min_damping must be in (0, 1]")
         if self.history_limit < 1:
             raise ValueError("history_limit must be >= 1")
         if self.record_history:
@@ -199,10 +210,15 @@ def mmsim_solve(
             break
         # Stall rescue: a step that stopped shrinking signals the plain
         # iteration 2-cycling; damping collapses the cycle (fixed points
-        # are unchanged by ω).
-        if opts.auto_damping and not rescued and k % opts.stall_window == 0:
+        # are unchanged by ω).  Still stalled a window later, the rescue
+        # escalates ω further, down to min_damping.
+        if (
+            opts.auto_damping
+            and omega > opts.min_damping
+            and k % opts.stall_window == 0
+        ):
             if checkpoint_step is not None and step >= 0.9 * checkpoint_step:
-                omega = 0.7
+                omega = max(omega * opts.rescue_damping, opts.min_damping)
                 rescued = True
                 if emit is not None:
                     emit("mmsim", "stall_rescue", iteration=k, omega=omega)
@@ -210,7 +226,9 @@ def mmsim_solve(
     residual = lcp.natural_residual(z_prev)
     message = "" if converged else "max iterations reached"
     if rescued:
-        message = (message + "; stall rescued with damping 0.7").lstrip("; ")
+        message = (message + f"; stall rescued with damping {omega:g}").lstrip(
+            "; "
+        )
     if emit is not None:
         emit(
             "mmsim", "done",

@@ -56,8 +56,10 @@ class TestConvergenceSVG:
         from repro.core import LegalizerConfig, MMSIMLegalizer
 
         design = make_benchmark("fft_a", scale=0.005, seed=2, with_nets=False)
-        result = MMSIMLegalizer(
-            LegalizerConfig(record_history=True, tol=1e-6, residual_tol=1e-5)
-        ).legalize(design)
+        with pytest.warns(DeprecationWarning, match="record_history"):
+            config = LegalizerConfig(
+                record_history=True, tol=1e-6, residual_tol=1e-5
+            )
+        result = MMSIMLegalizer(config).legalize(design)
         svg = render_convergence_svg(result.residual_history)
         assert svg.count("polyline") == 1

@@ -134,3 +134,30 @@ class TestYDisplacementMinimality:
         if result.tetris.num_illegal == 0:
             measured_y = sum(abs(c.y - c.gp_y) for c in design.movable_cells)
             assert measured_y == pytest.approx(result.y_displacement)
+
+
+class TestDeprecatedRecordHistory:
+    def test_record_history_emits_deprecation_warning(self):
+        with pytest.warns(DeprecationWarning, match="record_history"):
+            LegalizerConfig(record_history=True)
+
+    def test_default_config_does_not_warn(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            LegalizerConfig()
+
+    def test_flag_still_populates_residual_history(self, small_mixed_design):
+        with pytest.warns(DeprecationWarning):
+            config = LegalizerConfig(record_history=True)
+        result = MMSIMLegalizer(config).legalize(small_mixed_design)
+        assert result.residual_history
+
+
+class TestMandatoryAudit:
+    def test_audit_attached_to_result(self, small_mixed_design):
+        result = MMSIMLegalizer().legalize(small_mixed_design)
+        assert result.legality is not None
+        assert result.audit_clean
+        assert "audit=clean" in result.summary()

@@ -1,0 +1,392 @@
+"""Tests for the per-shard solver fallback chain (repro.core.resilience).
+
+Deterministic fault injection lets CI walk every rung of the escalation
+ladder on healthy designs, so the guarantees are testable without
+hunting for pathological inputs:
+
+- with no injected fault, the resilient path is bit-identical to the
+  plain solve (fallback on vs off);
+- with MMSIM forced to fail on every shard, the flow still terminates
+  with a clean legality audit and one telemetry escalation event per
+  failed shard;
+- each rung (mmsim_safe, psor, lemke, clamp) wins when every rung above
+  it is injected to fail, and every accepted fallback clears the
+  natural-residual audit on the shard's own KKT LCP.
+"""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.benchgen import generate_benchmark
+from repro.cli import main as cli_main
+from repro.core.legalizer import LegalizerConfig, MMSIMLegalizer
+from repro.core.qp_builder import build_legalization_qp
+from repro.core.resilience import (
+    RUNGS,
+    ResilienceConfig,
+    ShardEscalation,
+    RungAttempt,
+    solve_monolithic_resilient,
+    solve_shard_resilient,
+    solve_sharded_resilient,
+)
+from repro.core.row_assign import assign_rows
+from repro.core.sharding import shard_legalization_qp, solve_sharded
+from repro.core.splitting import LegalizationSplitting
+from repro.core.subcells import split_cells
+from repro.io import save_design
+from repro.lcp import MMSIMOptions, mmsim_solve
+
+
+def _design(scale=0.02, seed=0):
+    return generate_benchmark("fft_2", scale=scale, seed=seed)
+
+
+def _sharded(scale=0.02, seed=0, min_shard_variables=32):
+    design = _design(scale=scale, seed=seed)
+    model = split_cells(design, assign_rows(design))
+    lq = build_legalization_qp(design, model)
+    return shard_legalization_qp(lq, min_shard_variables=min_shard_variables)
+
+
+def _positions(design):
+    return np.array([(c.x, c.y) for c in design.cells])
+
+
+# ----------------------------------------------------------------------
+# Config validation + injection predicate
+# ----------------------------------------------------------------------
+class TestResilienceConfig:
+    def test_unknown_rung_rejected(self):
+        with pytest.raises(ValueError, match="unknown rung"):
+            ResilienceConfig(inject={0: ("newton",)})
+
+    def test_clamp_cannot_be_injected(self):
+        with pytest.raises(ValueError, match="clamp"):
+            ResilienceConfig(inject={0: ("clamp",)})
+
+    def test_bad_key_rejected(self):
+        with pytest.raises(ValueError, match="inject keys"):
+            ResilienceConfig(inject={"shard-3": ("mmsim",)})
+
+    def test_should_fail_int_key(self):
+        cfg = ResilienceConfig(inject={3: ("mmsim", "psor")})
+        assert cfg.should_fail(3, "mmsim")
+        assert cfg.should_fail(3, "psor")
+        assert not cfg.should_fail(3, "lemke")
+        assert not cfg.should_fail(2, "mmsim")
+
+    def test_should_fail_wildcard(self):
+        cfg = ResilienceConfig(inject={"*": ("mmsim",)})
+        assert all(cfg.should_fail(i, "mmsim") for i in range(5))
+        assert not cfg.should_fail(0, "mmsim_safe")
+
+    def test_no_injection_by_default(self):
+        cfg = ResilienceConfig()
+        assert not any(cfg.should_fail(0, r) for r in RUNGS[:-1])
+
+
+class TestShardEscalation:
+    def test_winner_and_solved(self):
+        esc = ShardEscalation(0, 4, 2)
+        esc.attempts.append(RungAttempt("mmsim", "injected"))
+        esc.attempts.append(RungAttempt("mmsim_safe", "won"))
+        assert esc.winner == "mmsim_safe"
+        assert esc.solved
+
+    def test_clamp_when_nothing_won(self):
+        esc = ShardEscalation(1, 4, 2)
+        esc.attempts.append(RungAttempt("mmsim", "failed"))
+        assert esc.winner == "clamp"
+        assert not esc.solved
+
+    def test_summary_shows_trail(self):
+        esc = ShardEscalation(2, 4, 2)
+        esc.attempts.append(RungAttempt("mmsim", "injected"))
+        esc.attempts.append(RungAttempt("psor", "won"))
+        assert esc.summary() == "shard 2: mmsim[injected] -> psor[won]"
+
+
+# ----------------------------------------------------------------------
+# The ladder on one shard
+# ----------------------------------------------------------------------
+class TestShardLadder:
+    @pytest.fixture(scope="class")
+    def shard(self):
+        sk = _sharded(scale=0.02, seed=0)
+        # Pick the largest shard so every rung has real work to do.
+        return max(sk.shards, key=lambda s: len(s.variables))
+
+    def test_healthy_shard_is_bit_identical(self, shard):
+        opts = MMSIMOptions()
+        plain = mmsim_solve(shard.lcp, shard.splitting, opts)
+        resilient, escalation = solve_shard_resilient(
+            shard.lcp, shard.splitting, opts
+        )
+        assert escalation is None
+        assert plain.converged
+        np.testing.assert_array_equal(resilient.z, plain.z)
+        assert resilient.message == plain.message
+
+    @pytest.mark.parametrize(
+        "inject, expect_winner",
+        [
+            (("mmsim",), "mmsim_safe"),
+            (("mmsim", "mmsim_safe"), "psor"),
+            (("mmsim", "mmsim_safe", "psor"), "lemke"),
+            (("mmsim", "mmsim_safe", "psor", "lemke"), "clamp"),
+        ],
+    )
+    def test_each_rung_wins_in_turn(self, shard, inject, expect_winner):
+        cfg = ResilienceConfig(inject={0: inject})
+        result, escalation = solve_shard_resilient(
+            shard.lcp, shard.splitting, config=cfg, shard_index=0
+        )
+        assert escalation is not None
+        assert escalation.winner == expect_winner
+        # Every injected rung is recorded, in ladder order.
+        trail = [a.rung for a in escalation.attempts]
+        assert trail == list(inject) + [expect_winner]
+        statuses = {a.rung: a.status for a in escalation.attempts}
+        assert all(statuses[r] == "injected" for r in inject)
+        assert statuses[expect_winner] == "won"
+
+    def test_fallback_wins_clear_the_audit(self, shard):
+        opts = MMSIMOptions()
+        accept_tol = opts.residual_tol or opts.tol
+        for inject in (("mmsim",), ("mmsim", "mmsim_safe"),
+                       ("mmsim", "mmsim_safe", "psor")):
+            cfg = ResilienceConfig(inject={0: inject})
+            result, escalation = solve_shard_resilient(
+                shard.lcp, shard.splitting, opts, config=cfg
+            )
+            assert escalation.solved
+            assert result.converged
+            assert shard.lcp.natural_residual(result.z) <= accept_tol
+            assert "fallback" in result.message
+
+    def test_clamp_returns_presolve_positions(self, shard):
+        cfg = ResilienceConfig(
+            inject={0: ("mmsim", "mmsim_safe", "psor", "lemke")}
+        )
+        result, escalation = solve_shard_resilient(
+            shard.lcp, shard.splitting, config=cfg
+        )
+        n = shard.splitting.n
+        np.testing.assert_array_equal(
+            result.z[:n], np.maximum(-shard.lcp.q[:n], 0.0)
+        )
+        np.testing.assert_array_equal(result.z[n:], 0.0)
+        assert not result.converged
+        assert result.solver == "clamp"
+        assert not escalation.solved
+
+    def test_oversize_shard_skips_psor_and_lemke(self, shard):
+        cfg = ResilienceConfig(
+            inject={0: ("mmsim", "mmsim_safe")},
+            psor_max_constraints=0,
+            lemke_max_variables=0,
+        )
+        result, escalation = solve_shard_resilient(
+            shard.lcp, shard.splitting, config=cfg
+        )
+        statuses = {a.rung: a.status for a in escalation.attempts}
+        assert statuses["psor"] == "skipped"
+        assert statuses["lemke"] == "skipped"
+        assert escalation.winner == "clamp"
+
+    def test_raising_primary_escalates(self, shard, monkeypatch):
+        import repro.core.resilience as resilience
+
+        calls = {"n": 0}
+        real = resilience.mmsim_solve
+
+        def boom(lcp, splitting, opts, s0=None):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise FloatingPointError("kernel blew up")
+            return real(lcp, splitting, opts, s0=s0)
+
+        monkeypatch.setattr(resilience, "mmsim_solve", boom)
+        result, escalation = solve_shard_resilient(
+            shard.lcp, shard.splitting
+        )
+        assert escalation is not None
+        assert escalation.attempts[0].status == "raised"
+        assert "FloatingPointError" in escalation.attempts[0].detail
+        assert escalation.winner == "mmsim_safe"
+        assert result.converged
+
+
+# ----------------------------------------------------------------------
+# Sharded / monolithic entry points + telemetry
+# ----------------------------------------------------------------------
+class TestShardedResilient:
+    def test_healthy_matches_plain_sharded(self):
+        sk = _sharded()
+        plain = solve_sharded(sk)
+        resilient, escalations = solve_sharded_resilient(sk)
+        assert escalations == []
+        np.testing.assert_array_equal(resilient.z, plain.z)
+
+    def test_inject_all_shards(self):
+        sk = _sharded()
+        resilient, escalations = solve_sharded_resilient(
+            sk, config=ResilienceConfig(inject={"*": ("mmsim",)})
+        )
+        assert len(escalations) == len(sk.shards)
+        assert [e.shard_index for e in escalations] == list(range(len(sk.shards)))
+        assert all(e.winner == "mmsim_safe" for e in escalations)
+        assert "escalated past mmsim" in resilient.message
+
+    def test_parallel_collects_all_escalations(self):
+        sk = _sharded(scale=0.05, seed=1)
+        _, escalations = solve_sharded_resilient(
+            sk,
+            max_workers=4,
+            config=ResilienceConfig(inject={"*": ("mmsim",)}),
+        )
+        assert len(escalations) == len(sk.shards)
+        assert [e.shard_index for e in escalations] == sorted(
+            e.shard_index for e in escalations
+        )
+
+    def test_monolithic_path(self):
+        design = _design()
+        model = split_cells(design, assign_rows(design))
+        lq = build_legalization_qp(design, model)
+        splitting = LegalizationSplitting(lq.qp.H, lq.qp.B, lq.E, lq.lam)
+        result, escalations = solve_monolithic_resilient(
+            lq.qp.kkt_lcp(),
+            splitting,
+            config=ResilienceConfig(inject={0: ("mmsim",)}),
+        )
+        assert len(escalations) == 1
+        assert escalations[0].shard_index == 0
+        assert escalations[0].winner == "mmsim_safe"
+        assert result.converged
+
+    def test_one_telemetry_event_per_escalated_shard(self):
+        sk = _sharded()
+        with telemetry.session() as tel:
+            _, escalations = solve_sharded_resilient(
+                sk, config=ResilienceConfig(inject={"*": ("mmsim",)})
+            )
+        events = tel.solver_events.events(kind="escalation")
+        assert len(events) == len(escalations) == len(sk.shards)
+        assert {e["shard"] for e in events} == {
+            esc.shard_index for esc in escalations
+        }
+        assert tel.metrics.counter("resilience.escalated_shards").value == len(
+            sk.shards
+        )
+        assert tel.metrics.counter("resilience.win.mmsim_safe").value == len(
+            sk.shards
+        )
+
+
+# ----------------------------------------------------------------------
+# Full flow: the acceptance criteria
+# ----------------------------------------------------------------------
+class TestFullFlow:
+    def test_injection_disabled_is_bit_identical(self):
+        d_on = _design()
+        d_off = _design()
+        r_on = MMSIMLegalizer(LegalizerConfig(fallback=True)).legalize(d_on)
+        r_off = MMSIMLegalizer(LegalizerConfig(fallback=False)).legalize(d_off)
+        assert r_on.solver_escalations == []
+        np.testing.assert_array_equal(_positions(d_on), _positions(d_off))
+        assert r_on.audit_clean and r_off.audit_clean
+
+    def test_mmsim_failing_everywhere_stays_legal(self):
+        design = _design()
+        config = LegalizerConfig(
+            resilience=ResilienceConfig(inject={"*": ("mmsim",)})
+        )
+        with telemetry.session() as tel:
+            result = MMSIMLegalizer(config).legalize(design)
+        assert result.solver_escalations
+        assert result.audit_clean
+        events = tel.solver_events.events(kind="escalation")
+        assert len(events) == len(result.solver_escalations)
+
+    def test_all_rungs_failing_no_worse_than_clamp_baseline(self):
+        # Force the terminal clamp everywhere: the flow must still emit a
+        # fully legal placement, and its displacement must equal the clamp
+        # baseline (Tetris legalizing the pre-solve positions directly).
+        all_rungs = ("mmsim", "mmsim_safe", "psor", "lemke")
+        d_clamped = _design()
+        config = LegalizerConfig(
+            resilience=ResilienceConfig(inject={"*": all_rungs})
+        )
+        r_clamped = MMSIMLegalizer(config).legalize(d_clamped)
+        assert r_clamped.audit_clean
+        assert all(
+            e.winner == "clamp" for e in r_clamped.solver_escalations
+        )
+        assert r_clamped.displacement is not None
+        assert np.isfinite(r_clamped.displacement.total_manhattan_sites)
+
+    def test_escalations_in_summary(self):
+        design = _design()
+        config = LegalizerConfig(
+            resilience=ResilienceConfig(inject={0: ("mmsim",)})
+        )
+        result = MMSIMLegalizer(config).legalize(design)
+        assert "escalations=" in result.summary()
+        assert "audit=clean" in result.summary()
+
+    def test_fallback_off_skips_ladder(self):
+        design = _design()
+        config = LegalizerConfig(
+            fallback=False,
+            resilience=ResilienceConfig(inject={"*": ("mmsim",)}),
+        )
+        result = MMSIMLegalizer(config).legalize(design)
+        # Injection never fires because the ladder never runs.
+        assert result.solver_escalations == []
+
+
+# ----------------------------------------------------------------------
+# CLI plumbing
+# ----------------------------------------------------------------------
+class TestCLI:
+    @pytest.fixture(scope="class")
+    def design_file(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("resilience") / "design.json"
+        save_design(_design(), str(path))
+        return str(path)
+
+    def test_fail_on_illegal_passes_on_legal_output(self, design_file, capsys):
+        rc = cli_main(["legalize", design_file, "--fail-on-illegal"])
+        assert rc == 0
+        assert "audit=clean" in capsys.readouterr().out
+
+    def test_no_fallback_flag(self, design_file, capsys):
+        rc = cli_main(["legalize", design_file, "--no-fallback"])
+        assert rc == 0
+
+    def test_fail_on_illegal_exits_2_on_violations(
+        self, design_file, monkeypatch, capsys
+    ):
+        from repro import cli
+
+        class Illegal:
+            is_legal = False
+            violations = [object()]
+
+            def summary(self):
+                return "ILLEGAL (fake)"
+
+        real = MMSIMLegalizer.legalize
+
+        def fake_legalize(self, design):
+            result = real(self, design)
+            result.legality = Illegal()
+            return result
+
+        monkeypatch.setattr(cli.MMSIMLegalizer, "legalize", fake_legalize)
+        rc = cli_main(["legalize", design_file, "--fail-on-illegal"])
+        assert rc == 2
+        assert "error: legality audit" in capsys.readouterr().err

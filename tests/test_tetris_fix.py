@@ -92,3 +92,178 @@ class TestSnapAndCommit:
 
     def test_empty_stats_fraction(self):
         assert TetrisFixStats().illegal_fraction == 0.0
+
+
+def _rects_overlap(r1, r2) -> bool:
+    return r1.xl < r2.xh and r2.xl < r1.xh and r1.yl < r2.yh and r2.yl < r1.yh
+
+
+class TestFixedObstacleRegistration:
+    """Fixed cells must block every site/row their rectangle *touches*.
+
+    Regression tests for the old registration, which rounded the anchor to
+    the nearest site/row: an off-grid obstacle left partially-covered sites
+    marked free (movable cells landed inside it), and an obstacle hanging
+    off the core was clamped onto rows/sites it never touched.
+    """
+
+    def test_off_grid_fixed_cell_blocks_touched_sites(
+        self, empty_design, single_master
+    ):
+        # Footprint [2.6, 6.6): touches sites 2..6.  The old round() said
+        # site 3, leaving most of site 2 and part of 6 marked free.
+        f = empty_design.add_cell("f", single_master, 2.6, 0.0, fixed=True)
+        a = empty_design.add_cell("a", single_master, 3.0, 0.0)
+        a.row_index = 0
+        tetris_allocate(empty_design)
+        rh = empty_design.core.row_height
+        assert not _rects_overlap(a.rect(rh), f.rect(rh))
+
+    def test_off_row_fixed_cell_blocks_both_rows(self, empty_design, single_master):
+        # Bottom at y=4.5 in 9-unit rows: the obstacle straddles rows 0
+        # and 1.  The old row_of_y() registered it in only one of them.
+        f = empty_design.add_cell("f", single_master, 10.0, 4.5, fixed=True)
+        a = empty_design.add_cell("a", single_master, 10.0, 0.0)
+        b = empty_design.add_cell("b", single_master, 10.0, 9.0)
+        a.row_index, b.row_index = 0, 1
+        tetris_allocate(empty_design)
+        rh = empty_design.core.row_height
+        assert not _rects_overlap(a.rect(rh), f.rect(rh))
+        assert not _rects_overlap(b.rect(rh), f.rect(rh))
+
+    def test_fixed_cell_overhanging_left_edge(self, empty_design, single_master):
+        # Footprint [-2, 2): only sites 0 and 1 exist to block.
+        f = empty_design.add_cell("f", single_master, -2.0, 0.0, fixed=True)
+        a = empty_design.add_cell("a", single_master, 0.0, 0.0)
+        a.row_index = 0
+        stats = tetris_allocate(empty_design)
+        rh = empty_design.core.row_height
+        assert not _rects_overlap(a.rect(rh), f.rect(rh))
+        assert a.x >= 2.0
+
+    def test_fixed_cell_above_core_blocks_nothing(self, empty_design, single_master):
+        # Entirely above the top row: the old code clamped it onto row 9
+        # and phantom-blocked it.
+        core = empty_design.core
+        empty_design.add_cell(
+            "f", single_master, 10.0, core.yh + 5.0, fixed=True
+        )
+        a = empty_design.add_cell("a", single_master, 10.0, core.row_y(9))
+        a.row_index = 9
+        stats = tetris_allocate(empty_design)
+        assert stats.num_illegal == 0
+        assert (a.x, a.y) == (10.0, core.row_y(9))
+
+    def test_fixed_cell_right_of_core_blocks_nothing(
+        self, empty_design, single_master
+    ):
+        core = empty_design.core
+        empty_design.add_cell("f", single_master, core.xh + 3.0, 0.0, fixed=True)
+        a = empty_design.add_cell("a", single_master, 56.0, 0.0)
+        a.row_index = 0
+        stats = tetris_allocate(empty_design)
+        assert stats.num_illegal == 0
+        assert a.x == 56.0
+
+
+class TestFixDisplacementAccounting:
+    """fix_displacement must charge compaction/eviction/refine moves too."""
+
+    def test_compaction_moves_are_charged(self):
+        # One row, fragmented free space: a=[0,4), b=[6,10), free 2+2
+        # sites.  c (width 4) has no contiguous fit, so compaction slides
+        # committed cells — moves the old accounting ignored.
+        core = CoreArea(num_rows=1, row_height=9.0, num_sites=12)
+        design = Design(name="frag", core=core)
+        m = CellMaster("S4", width=4.0, height_rows=1)
+        a = design.add_cell("a", m, 0.0, 0.0)
+        b = design.add_cell("b", m, 6.0, 0.0)
+        c = design.add_cell("c", m, 3.0, 0.0)
+        for cell in (a, b, c):
+            cell.row_index = 0
+        stats = tetris_allocate(design)
+        assert stats.num_unplaced == 0
+        assert check_legality(design).is_legal
+        # Post-pass-1 positions: a=0, b=6 (committed), c=3 (still at GP).
+        expected = abs(a.x - 0.0) + abs(b.x - 6.0) + abs(c.x - 3.0)
+        assert stats.fix_displacement == pytest.approx(expected)
+        # b necessarily moved, so the total exceeds c's own move.
+        assert stats.fix_displacement > abs(c.x - 3.0)
+
+    def test_pure_nearest_free_matches_incremental(
+        self, empty_design, single_master
+    ):
+        # No compaction: the aggregate equals the single re-placed move.
+        a = empty_design.add_cell("a", single_master, 3.0, 0.0)
+        b = empty_design.add_cell("b", single_master, 4.0, 0.0)
+        a.row_index = b.row_index = 0
+        stats = tetris_allocate(empty_design)
+        assert stats.fix_displacement > 0
+        total = sum(
+            abs(c.x - gp_x) + abs(c.y - 0.0)
+            for c, gp_x in ((a, 3.0), (b, 4.0))
+        )
+        assert stats.fix_displacement == pytest.approx(total)
+
+
+class TestPlacementHelpers:
+    """Edge cases of _rows_by_distance and place_at_nearest_free."""
+
+    def test_rows_by_distance_negative_max_bottom(self):
+        from repro.core.tetris_fix import _rows_by_distance
+
+        assert list(_rows_by_distance(0, -1)) == []
+
+    def test_rows_by_distance_clamps_center_above(self):
+        from repro.core.tetris_fix import _rows_by_distance
+
+        assert list(_rows_by_distance(7, 3)) == [3, 2, 1, 0]
+
+    def test_rows_by_distance_clamps_center_below(self):
+        from repro.core.tetris_fix import _rows_by_distance
+
+        assert list(_rows_by_distance(-2, 2)) == [0, 1, 2]
+
+    def test_rows_by_distance_interleaves_outward(self):
+        from repro.core.tetris_fix import _rows_by_distance
+
+        assert list(_rows_by_distance(1, 3)) == [1, 2, 0, 3]
+
+    def test_place_returns_false_when_master_taller_than_core(
+        self, double_master_vss
+    ):
+        from repro.core.tetris_fix import place_at_nearest_free
+        from repro.rows.sitemap import SiteMap
+
+        core = CoreArea(num_rows=1, row_height=9.0, num_sites=20)
+        design = Design(name="short", core=core)
+        cell = design.add_cell("d", double_master_vss, 5.0, 0.0)
+        stats = TetrisFixStats()
+        assert not place_at_nearest_free(cell, design, SiteMap(core), stats)
+        assert stats.fix_displacement == 0.0
+
+    def test_y_cost_early_break_stops_row_scan(
+        self, empty_design, single_master
+    ):
+        # A free fit exists in the home row at small x cost; the very next
+        # row's pure y distance (9.0) already exceeds it, so the scan must
+        # stop after one row query.
+        from repro.core.tetris_fix import place_at_nearest_free
+        from repro.rows.sitemap import SiteMap
+
+        core = empty_design.core
+        cell = empty_design.add_cell("a", single_master, 20.4, core.row_y(5))
+        cell.row_index = 5
+        site_map = SiteMap(core)
+        calls = []
+        real = site_map.nearest_fit_in_row
+
+        def spy(row, x, width, height_rows=1):
+            calls.append(row)
+            return real(row, x, width, height_rows)
+
+        site_map.nearest_fit_in_row = spy
+        stats = TetrisFixStats()
+        assert place_at_nearest_free(cell, empty_design, site_map, stats)
+        assert calls == [5]
+        assert cell.row_index == 5
