@@ -1,0 +1,131 @@
+"""Gate a fresh BENCH_legalize.json run against the committed baseline.
+
+CI runners are not the machine the baseline was recorded on, so raw
+wall-clock comparisons are meaningless: the whole run may be uniformly
+2x slower on a cold shared vCPU.  What a *code* regression looks like
+is one configuration slowing down relative to the others.  So:
+
+1. For every (scale, config) present in both reports, compute
+   ``ratio = new_wall / baseline_wall``.
+2. The median of all ratios is the machine factor — how much
+   slower/faster this host is overall.
+3. Fail if any config's ratio exceeds ``machine_factor * (1 + threshold)``
+   (default threshold 0.2, i.e. a >20% relative wall-clock regression).
+
+Correctness gates ride along: the run fails outright if the new report
+is marked diverged, or any micro-profile run lost batched-vs-per-shard
+bit-identity or batched-vs-sharded parity.
+
+Run:  python benchmarks/check_perf_regression.py NEW.json BENCH_legalize.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from typing import Dict, List, Optional
+
+CONFIG_KEYS = ("legacy", "sharded", "batched")
+
+
+def _load(path: str) -> Dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def collect_ratios(new: Dict, base: Dict) -> List[Dict]:
+    base_by_scale = {run["scale"]: run for run in base["runs"]}
+    ratios: List[Dict] = []
+    for run in new["runs"]:
+        base_run = base_by_scale.get(run["scale"])
+        if base_run is None:
+            continue
+        for key in CONFIG_KEYS:
+            if key not in run or key not in base_run:
+                continue
+            base_wall = base_run[key]["wall_s"]
+            if base_wall <= 0:
+                continue
+            ratios.append(
+                {
+                    "scale": run["scale"],
+                    "config": key,
+                    "new_wall_s": run[key]["wall_s"],
+                    "base_wall_s": base_wall,
+                    "ratio": run[key]["wall_s"] / base_wall,
+                }
+            )
+    return ratios
+
+
+def check(new: Dict, base: Dict, threshold: float) -> int:
+    failures: List[str] = []
+    if new.get("profile") != base.get("profile"):
+        failures.append(
+            f"profile mismatch: new={new.get('profile')!r} "
+            f"baseline={base.get('profile')!r}"
+        )
+    if new.get("diverged"):
+        failures.append("new report is marked diverged")
+    for run in new["runs"]:
+        if "batched_bit_identical" in run and not run["batched_bit_identical"]:
+            failures.append(
+                f"scale {run['scale']}: batched positions are not "
+                "bit-identical to the per-shard reference"
+            )
+        if "parity" in run and not run["parity"].get("ok", True):
+            failures.append(f"scale {run['scale']}: parity check failed")
+
+    ratios = collect_ratios(new, base)
+    if not ratios:
+        failures.append("no comparable (scale, config) pairs between reports")
+        machine = None
+    else:
+        machine = statistics.median(entry["ratio"] for entry in ratios)
+        limit = machine * (1.0 + threshold)
+        print(
+            f"machine factor (median wall ratio new/baseline): "
+            f"{machine:.3f}; per-config limit {limit:.3f}"
+        )
+        for entry in ratios:
+            verdict = "ok"
+            if entry["ratio"] > limit:
+                verdict = "REGRESSION"
+                failures.append(
+                    f"scale {entry['scale']} config {entry['config']}: "
+                    f"wall {entry['base_wall_s']:.3f}s -> "
+                    f"{entry['new_wall_s']:.3f}s "
+                    f"(ratio {entry['ratio']:.3f} > limit {limit:.3f})"
+                )
+            print(
+                f"  scale {entry['scale']:<5} {entry['config']:<8} "
+                f"{entry['base_wall_s']:.3f}s -> {entry['new_wall_s']:.3f}s  "
+                f"ratio {entry['ratio']:.3f}  {verdict}"
+            )
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} issue(s)")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nOK: no wall-clock regression beyond threshold, parity intact")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("new", help="freshly generated BENCH_legalize.json")
+    parser.add_argument("baseline", help="committed baseline to compare against")
+    parser.add_argument(
+        "--threshold", type=float, default=0.2,
+        help="allowed relative wall-clock regression after machine-factor "
+             "normalization (default 0.2 = 20%%)",
+    )
+    args = parser.parse_args(argv)
+    return check(_load(args.new), _load(args.baseline), args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

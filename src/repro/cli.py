@@ -90,15 +90,32 @@ def cmd_legalize(args: argparse.Namespace) -> int:
             parallel=args.parallel,
             max_workers=args.workers,
             fallback=args.fallback,
+            batch_micro_shards=args.batch,
         )
         if args.lam is not None:
             config.lam = args.lam
         legalizer = MMSIMLegalizer(config)
 
+    warm_start_z = None
+    state_path = getattr(args, "state", None)
+    if state_path and args.algorithm == "mmsim":
+        import os
+
+        import numpy as np
+
+        if os.path.exists(state_path):
+            warm_start_z = np.load(state_path)
+            print(f"warm-starting from {state_path}")
+
+    def _legalize(target):
+        if args.algorithm == "mmsim":
+            return target.legalize(design, warm_start_z=warm_start_z)
+        return target.legalize(design)
+
     tracing = bool(args.trace or args.trace_chrome)
     if tracing:
         with telemetry.session(event_limit=args.trace_events) as tel:
-            result = legalizer.legalize(design)
+            result = _legalize(legalizer)
         if args.trace:
             telemetry.write_jsonl(tel, args.trace)
             print(f"wrote {args.trace}")
@@ -106,7 +123,16 @@ def cmd_legalize(args: argparse.Namespace) -> int:
             telemetry.write_chrome_trace(tel, args.trace_chrome)
             print(f"wrote {args.trace_chrome}")
     else:
-        result = legalizer.legalize(design)
+        result = _legalize(legalizer)
+
+    if state_path and getattr(result, "kkt_solution", None) is not None:
+        import numpy as np
+
+        # Write to the exact path (np.save would append ".npy" to a bare
+        # filename and break the reload round-trip).
+        with open(state_path, "wb") as fh:
+            np.save(fh, result.kkt_solution)
+        print(f"wrote solver state to {state_path}")
 
     print(result.summary())
     # The MMSIM flow audits itself (mandatory post-flow check_legality);
@@ -230,6 +256,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "(mmsim only)")
     p.add_argument("--workers", type=int, default=None, metavar="N",
                    help="thread-pool size for --parallel (default: cpu count)")
+    p.add_argument("--batch", action=argparse.BooleanOptionalAction,
+                   default=False,
+                   help="batch micro-shards through the stacked vectorized "
+                        "MMSIM engine (bit-identical to the per-shard path)")
+    p.add_argument("--state", default=None, metavar="PATH",
+                   help="solver-state file: if PATH exists, warm-start the "
+                        "MMSIM from its KKT solution; afterwards the run's "
+                        "solution is saved back to PATH")
     p.add_argument("--fallback", action=argparse.BooleanOptionalAction,
                    default=True,
                    help="per-shard solver fallback chain: re-solve a "

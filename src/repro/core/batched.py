@@ -1,0 +1,545 @@
+"""Batched micro-shard MMSIM execution engine.
+
+:mod:`repro.core.sharding` makes the legalization KKT LCP exactly block
+diagonal over coupling components, but dispatching one Python-level
+``mmsim_solve`` per component means designs that shatter into hundreds of
+micro-shards (short chains of adjacent cells — the common case) pay
+per-shard Python and setup overhead that dwarfs the arithmetic.  This
+module keeps the per-component *stopping* win of micro-sharding while
+running the sweeps as a handful of vectorized operations:
+
+* shards are grouped by **structural signature** — pure-chain (no E
+  rows, H = I) vs. coupled, and a log₂ size bucket — so each group's
+  stacked system stays structurally homogeneous;
+* each group's blocks are sliced out of the global matrices in **one
+  permutation** (``H[π][:,π]`` etc.); because every B/E row touches only
+  its own shard's columns, the slice *is* the block-diagonal stacking of
+  the per-shard blocks, entry for entry, so one
+  :class:`~repro.core.splitting.LegalizationSplitting` over the stacked
+  blocks provides the batched Woodbury top solve, the batched
+  tridiagonal bottom solve (LAPACK ``pttrf``/``pttrs`` factor the
+  concatenated D bands; the zero couplings at shard boundaries decouple
+  the recurrence bitwise), and the fused one-pass sweep;
+* **per-shard convergence masking**: every sweep reduces the z-step per
+  shard (segment maxima); a shard that clears its own tolerance is
+  audited against its rows of the stacked KKT matrix and its result
+  frozen at that iteration, exactly like the per-shard path.  Finished
+  shards ride along (their slice of the stacked sweep is wasted work —
+  reported as ``batch.padding_waste``) until enough of the group has
+  converged, at which point the survivors are **repacked** into a
+  smaller stack and the sweep continues where it left off;
+* the per-shard stall rescue (progressive damping, see
+  :mod:`repro.lcp.mmsim`) runs per shard on the group state, with the
+  same schedule and the same arithmetic.
+
+Results are bit-identical to the per-shard path: slicing preserves every
+stored value and per-row entry order (so every sparse matvec accumulates
+in the same order), the tridiagonal factorization recurrences are local
+and restart exactly at the zero boundary couplings, and all elementwise
+updates are the same operations on the same values.  Groups whose
+stacked kernels fail their probe verification — or that are too small to
+be worth stacking — fall back to the ordinary per-shard solve, and the
+resilience ladder can still peel any individual shard out of a batch
+when its result fails the KKT audit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.lcp.mmsim import MMSIMOptions, warm_start_from_z
+from repro.lcp.problem import LCPResult, make_kkt_lcp
+from repro.telemetry import current_session
+
+
+@dataclass(frozen=True)
+class BatchOptions:
+    """Controls for the batched micro-shard engine.
+
+    ``signature_buckets`` caps the log₂ size bucket of the grouping
+    signature: shards of ``n + m`` variables land in bucket
+    ``min(bit_length(n+m), signature_buckets)``, so everything above
+    ``2**signature_buckets`` shares one bucket.  ``min_group_shards``
+    routes groups too small to amortize a stacked factorization to the
+    per-shard path.  ``repack_fraction`` triggers a repack when the
+    active fraction of a group drops to (or below) it — each repack at
+    most halves the stack with the default 0.5, so total ride-along
+    waste stays bounded.  ``repack_interval`` is the minimum number of
+    sweeps a pack must run before it may be repacked: restacking costs a
+    fresh factorization (milliseconds of sparse-assembly overhead) while
+    a ride-along sweep over frozen entries costs nanoseconds per entry,
+    so repacking only pays off for long-tail groups — short-lived groups
+    should finish in their original stack.
+    """
+
+    signature_buckets: int = 8
+    min_group_shards: int = 2
+    repack_fraction: float = 0.5
+    repack_interval: int = 250
+
+    def __post_init__(self) -> None:
+        if self.signature_buckets < 1:
+            raise ValueError("signature_buckets must be >= 1")
+        if self.min_group_shards < 1:
+            raise ValueError("min_group_shards must be >= 1")
+        if not 0.0 <= self.repack_fraction < 1.0:
+            raise ValueError("repack_fraction must be in [0, 1)")
+        if self.repack_interval < 1:
+            raise ValueError("repack_interval must be >= 1")
+
+
+class _GroupFallback(Exception):
+    """The stacked kernels declined this group; solve it per-shard."""
+
+
+def shard_signature(shard, buckets: int) -> Tuple[str, int]:
+    """Structural signature ``(kind, size_bucket)`` of one shard.
+
+    ``kind`` is ``"chain"`` for pure-chain shards (no E rows, so H = I
+    and the stacked top solve is a diagonal scaling) and ``"coupled"``
+    for shards tied by multi-row consistency rows.
+    """
+    kind = "chain" if len(shard.e_rows) == 0 else "coupled"
+    size = shard.num_variables + shard.num_constraints
+    return kind, min(int(size).bit_length(), buckets)
+
+
+def group_shards(shards, batch: BatchOptions) -> Dict[Tuple[str, int], List]:
+    """Group shards by signature, preserving shard order within groups."""
+    groups: Dict[Tuple[str, int], List] = {}
+    for shard in shards:
+        groups.setdefault(
+            shard_signature(shard, batch.signature_buckets), []
+        ).append(shard)
+    return groups
+
+
+def _segment_max(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Per-segment maximum of contiguous segments tiling ``values``.
+
+    ``offsets`` has one more entry than there are segments; empty
+    segments yield 0.0.  Because the segments tile the array, dropping
+    the empty ones before ``np.maximum.reduceat`` preserves every
+    nonempty segment's boundaries.
+    """
+    starts = offsets[:-1]
+    nonempty = offsets[1:] > starts
+    out = np.zeros(len(starts))
+    if values.size and nonempty.any():
+        out[nonempty] = np.maximum.reduceat(values, starts[nonempty])
+    return out
+
+
+class _GroupPack:
+    """One signature group's stacked state and vectorized sweep loop."""
+
+    def __init__(
+        self,
+        source,
+        shards: List,
+        opts: MMSIMOptions,
+        label: str,
+        s0: Optional[np.ndarray],
+        z0: Optional[np.ndarray],
+        n_global: int,
+    ) -> None:
+        self.source = source
+        self.opts = opts
+        self.label = label
+        self.gamma = opts.gamma
+        self.results: Dict[int, LCPResult] = {}
+        self.swept_entries = 0
+        self.wasted_entries = 0
+        G = len(shards)
+        # Per-shard iteration state (survives repacks).
+        omega = np.full(G, opts.damping)
+        checkpoint = np.full(G, np.nan)
+        rescued = np.zeros(G, dtype=bool)
+        s_init = self._initial_state(shards, s0, z0, n_global)
+        self._commit(shards, s_init, omega, checkpoint, rescued)
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    def _assemble(self, shards: List):
+        """Build the stacked system for *shards*; raises
+        :class:`_GroupFallback` before any state is committed when the
+        stacked kernels decline (probe-verification failure)."""
+        from repro.core.splitting import LegalizationSplitting
+
+        vi = np.concatenate([sh.variables for sh in shards])
+        bi = np.concatenate([sh.b_rows for sh in shards])
+        ei = np.concatenate([sh.e_rows for sh in shards])
+        Hg, Bg, Eg = self.source.slice_blocks(vi, bi, ei)
+        splitting = LegalizationSplitting(
+            Hg, Bg, Eg, self.source.lam,
+            params=self.source.params, fast_kernels=True,
+        )
+        if splitting.top_kernel != "woodbury":
+            raise _GroupFallback("stacked top kernel fell back to SuperLU")
+        if splitting.m and splitting.bottom_kernel not in ("pttrs", "scalar"):
+            raise _GroupFallback(
+                f"stacked bottom kernel is {splitting.bottom_kernel}"
+            )
+        lcp = make_kkt_lcp(
+            Hg, self.source.p[vi], Bg, self.source.b[bi]
+        )
+        top_sizes = np.array([sh.num_variables for sh in shards], dtype=np.intp)
+        bot_sizes = np.array([sh.num_constraints for sh in shards], dtype=np.intp)
+        top_off = np.concatenate([[0], np.cumsum(top_sizes)])
+        bot_off = np.concatenate([[0], np.cumsum(bot_sizes)])
+        return splitting, lcp, top_sizes, bot_sizes, top_off, bot_off
+
+    def _commit(self, shards, s_init, omega, checkpoint, rescued) -> None:
+        (
+            splitting, lcp, top_sizes, bot_sizes, top_off, bot_off
+        ) = self._assemble(shards)
+        self.shards = list(shards)
+        self.splitting = splitting
+        self.lcp = lcp
+        self.top_sizes = top_sizes
+        self.bot_sizes = bot_sizes
+        self.top_off = top_off
+        self.bot_off = bot_off
+        self.N = int(top_off[-1])
+        self.M = int(bot_off[-1])
+        self.gq = self.gamma * lcp.q
+        self.omega = omega
+        self.checkpoint = checkpoint
+        self.rescued = rescued
+        self.active = np.ones(len(shards), dtype=bool)
+        self.inactive_entries = 0
+        self._cand_key = None
+        self._cand_streak = 0
+        self._cand_sub = None
+        self._any_damped = bool(np.any(omega != 1.0))
+        self._refresh_omega_entry()
+        self.s = s_init
+
+    def _refresh_omega_entry(self) -> None:
+        if self._any_damped:
+            self.omega_entry = np.concatenate([
+                np.repeat(self.omega, self.top_sizes),
+                np.repeat(self.omega, self.bot_sizes),
+            ])
+        else:
+            self.omega_entry = None
+
+    def _initial_state(self, shards, s0, z0, n_global) -> np.ndarray:
+        """Stacked s⁰, matching the per-shard seeding exactly."""
+        size = sum(sh.num_variables + sh.num_constraints for sh in shards)
+        if s0 is None and z0 is None:
+            return np.zeros(size)
+        top = np.concatenate([sh.variables for sh in shards])
+        bot = n_global + np.concatenate([sh.b_rows for sh in shards])
+        if s0 is not None:
+            return np.concatenate([s0[top], s0[bot]]).astype(float)
+        # z0 path needs the stacked LCP for w = Az + q.  The blocks come
+        # out of the same deterministic slicing _commit uses moments
+        # later, so the seed matches the per-shard warm start bitwise.
+        vi = np.concatenate([sh.variables for sh in shards])
+        bi = np.concatenate([sh.b_rows for sh in shards])
+        ei = np.concatenate([sh.e_rows for sh in shards])
+        Hg, Bg, _ = self.source.slice_blocks(vi, bi, ei)
+        lcp = make_kkt_lcp(Hg, self.source.p[vi], Bg, self.source.b[bi])
+        z0_g = np.concatenate([z0[top], z0[bot]]).astype(float)
+        return warm_start_from_z(lcp, z0_g, self.gamma)
+
+    # ------------------------------------------------------------------
+    # Per-shard bookkeeping
+    # ------------------------------------------------------------------
+    def _slices(self, j: int) -> Tuple[slice, slice]:
+        return (
+            slice(self.top_off[j], self.top_off[j + 1]),
+            slice(self.N + self.bot_off[j], self.N + self.bot_off[j + 1]),
+        )
+
+    def _all_residuals(self, z: np.ndarray) -> np.ndarray:
+        """Every shard's KKT natural residual at the stacked z.
+
+        One matvec over the whole stack — each shard's rows only touch
+        its own columns, so each per-shard segment of ``Az + q``
+        accumulates exactly as the shard's own ``lcp.natural_residual``
+        would (same values, same per-row order), and the segment maxima
+        are the per-shard inf-norms, bit for bit.
+        """
+        w = self.lcp.A @ z + self.lcp.q
+        r = np.minimum(z, w)
+        np.abs(r, out=r)
+        return np.maximum(
+            _segment_max(r[: self.N], self.top_off),
+            _segment_max(r[self.N:], self.bot_off),
+        )
+
+    def _candidate_residuals(
+        self, cand: np.ndarray, z: np.ndarray
+    ) -> np.ndarray:
+        """Natural residuals of the candidate shards only, at the
+        stacked z; entry i corresponds to ``np.where(cand)[0][i]``.
+
+        A shard can sit in the candidate state (step below tol, residual
+        still above ``residual_tol``) for thousands of sweeps.  A
+        churning candidate set is audited with one cheap full-stack
+        matvec; a set that persists earns a row-sliced sub-system
+        (sparse fancy indexing is too expensive to rebuild every sweep)
+        so the long tail audits only the pending shards' rows.  Row
+        slicing keeps every row's stored entry order, so the sub-matvec
+        accumulates bit-identically to the full one (and to each shard's
+        own ``natural_residual``).
+        """
+        key = cand.tobytes()
+        if key == self._cand_key:
+            self._cand_streak += 1
+        else:
+            self._cand_key = key
+            self._cand_streak = 0
+            self._cand_sub = None
+        if self._cand_streak < 3:
+            return self._all_residuals(z)[cand]
+        if self._cand_sub is None:
+            rows = []
+            sizes = []
+            for j in np.where(cand)[0]:
+                t, b = self._slices(j)
+                rows.append(np.arange(t.start, t.stop))
+                rows.append(np.arange(b.start, b.stop))
+                sizes.append((t.stop - t.start) + (b.stop - b.start))
+            row_idx = np.concatenate(rows)
+            self._cand_sub = (
+                row_idx,
+                self.lcp.A[row_idx],
+                self.lcp.q[row_idx],
+                np.concatenate([[0], np.cumsum(sizes)]),
+            )
+        row_idx, A_sub, q_sub, offsets = self._cand_sub
+        w = A_sub @ z + q_sub
+        r = np.minimum(z[row_idx], w)
+        np.abs(r, out=r)
+        return _segment_max(r, offsets)
+
+    def _finish(
+        self, j: int, z: np.ndarray, k: int, converged: bool, residual: float
+    ) -> None:
+        shard = self.shards[j]
+        t, b = self._slices(j)
+        z_s = np.concatenate([z[t], z[b]])
+        message = "" if converged else "max iterations reached"
+        if self.rescued[j]:
+            message = (
+                message
+                + f"; stall rescued with damping {self.omega[j]:g}"
+            ).lstrip("; ")
+        self.results[shard.index] = LCPResult(
+            z=z_s,
+            converged=converged,
+            iterations=k,
+            residual=float(residual),
+            solver="mmsim",
+            message=message,
+        )
+
+    def _repack(self, z: np.ndarray) -> Optional[np.ndarray]:
+        """Restack the still-active shards; returns the new z (the new
+        z_prev for the next sweep) or None when the repack was declined."""
+        keep = np.where(self.active)[0]
+        shards = [self.shards[j] for j in keep]
+        segs_s = []
+        segs_z = []
+        for vec, segs in ((self.s, segs_s), (z, segs_z)):
+            for j in keep:
+                t, _ = self._slices(j)
+                segs.append(vec[t])
+            for j in keep:
+                _, b = self._slices(j)
+                segs.append(vec[b])
+        s_new = np.concatenate(segs_s)
+        z_new = np.concatenate(segs_z)
+        omega = self.omega[keep]
+        checkpoint = self.checkpoint[keep]
+        rescued = self.rescued[keep]
+        try:
+            self._commit(shards, s_new, omega, checkpoint, rescued)
+        except _GroupFallback:
+            # Same blocks just passed verification at the initial pack;
+            # if a repack somehow declines, keep sweeping the old stack.
+            return None
+        return z_new
+
+    # ------------------------------------------------------------------
+    # The batched sweep
+    # ------------------------------------------------------------------
+    def solve(self, batch: BatchOptions) -> Dict[int, LCPResult]:
+        opts = self.opts
+        gamma = self.gamma
+        emit = opts.telemetry.emit if opts.telemetry is not None else None
+        s = self.s
+        z_prev = (np.abs(s) + s) / gamma
+        last_pack_k = 0
+        for k in range(1, opts.max_iterations + 1):
+            total = self.N + self.M
+            self.swept_entries += total
+            self.wasted_entries += self.inactive_entries
+            s_abs = np.abs(s)
+            rhs = self.splitting.apply_rhs(s, s_abs, self.gq)
+            s_hat = self.splitting.solve_M_plus_omega(rhs)
+            if self._any_damped:
+                ow = self.omega_entry
+                s = np.where(ow == 1.0, s_hat, ow * s_hat + (1.0 - ow) * s)
+            else:
+                s = s_hat
+            z = np.abs(s)
+            z += s
+            z /= gamma
+            np.subtract(z, z_prev, out=z_prev)
+            np.abs(z_prev, out=z_prev)
+            steps = np.maximum(
+                _segment_max(z_prev[: self.N], self.top_off),
+                _segment_max(z_prev[self.N:], self.bot_off),
+            )
+            z_prev = z
+            at_check = k % opts.check_every == 0 or k == opts.max_iterations
+            if at_check:
+                cand = self.active & (steps < opts.tol)
+                if cand.any():
+                    cand_idx = np.where(cand)[0]
+                    residuals = self._candidate_residuals(cand, z)
+                    if opts.residual_tol is not None:
+                        passed = residuals <= opts.residual_tol
+                    else:
+                        passed = np.ones(len(cand_idx), dtype=bool)
+                    for j, res in zip(cand_idx[passed], residuals[passed]):
+                        self._finish(j, z, k, converged=True, residual=res)
+                        self.active[j] = False
+                        self.inactive_entries += int(
+                            self.top_sizes[j] + self.bot_sizes[j]
+                        )
+            active_count = int(self.active.sum())
+            if emit is not None:
+                emit(
+                    "mmsim_batch", "iteration",
+                    group=self.label, iteration=k, active=active_count,
+                    step=float(steps[self.active].max())
+                    if active_count else 0.0,
+                )
+            if active_count == 0:
+                break
+            # Per-shard stall rescue, on the per-shard schedule (see
+            # repro.lcp.mmsim — same gate, same escalation arithmetic).
+            if opts.auto_damping and k % opts.stall_window == 0:
+                eligible = self.active & (self.omega > opts.min_damping)
+                if eligible.any():
+                    fire = (
+                        eligible
+                        & ~np.isnan(self.checkpoint)
+                        & (steps >= 0.9 * self.checkpoint)
+                    )
+                    if fire.any():
+                        self.omega[fire] = np.maximum(
+                            self.omega[fire] * opts.rescue_damping,
+                            opts.min_damping,
+                        )
+                        self.rescued[fire] = True
+                        self._any_damped = True
+                        self._refresh_omega_entry()
+                        if emit is not None:
+                            emit(
+                                "mmsim_batch", "stall_rescue",
+                                group=self.label, iteration=k,
+                                shards=int(fire.sum()),
+                            )
+                    self.checkpoint[eligible] = steps[eligible]
+            if (
+                k < opts.max_iterations
+                and k - last_pack_k >= batch.repack_interval
+                and active_count <= batch.repack_fraction * len(self.shards)
+            ):
+                self.s = s
+                z_new = self._repack(z_prev)
+                if z_new is not None:
+                    s = self.s
+                    z_prev = z_new
+                    last_pack_k = k
+        # Shards still active at max_iterations: not converged, final
+        # residual at the last iterate (as the per-shard loop reports).
+        leftovers = np.where(self.active)[0]
+        if len(leftovers):
+            residuals = self._all_residuals(z_prev)
+            for j in leftovers:
+                self._finish(
+                    j, z_prev, opts.max_iterations,
+                    converged=False, residual=residuals[j],
+                )
+        if emit is not None:
+            emit(
+                "mmsim_batch", "done",
+                group=self.label, shards=len(self.results),
+                iterations=k,
+                converged=sum(
+                    1 for r in self.results.values() if r.converged
+                ),
+            )
+        return self.results
+
+
+def solve_shards_batched(
+    sharded,
+    options: Optional[MMSIMOptions] = None,
+    s0: Optional[np.ndarray] = None,
+    z0: Optional[np.ndarray] = None,
+    batch: Optional[BatchOptions] = None,
+) -> Dict[int, LCPResult]:
+    """Solve eligible shard groups through the stacked vectorized MMSIM.
+
+    Returns ``{shard.index: LCPResult}`` for every shard solved by the
+    engine; shards it declines (small groups, kernel fallbacks, a
+    missing :class:`~repro.core.sharding.ShardSource`) are simply absent
+    and the caller solves them per-shard.  Results are bit-identical to
+    the per-shard path (see the module docstring for why).
+    """
+    opts = options or MMSIMOptions()
+    cfg = batch or BatchOptions()
+    source = getattr(sharded, "source", None)
+    results: Dict[int, LCPResult] = {}
+    if source is None or not source.fast_kernels or opts.record_history:
+        return results
+    groups = group_shards(sharded.shards, cfg)
+    tel = current_session()
+    batched_groups = 0
+    batched_shards = 0
+    fallback_shards = 0
+    swept = 0
+    wasted = 0
+    for sig, shards in groups.items():
+        if len(shards) < cfg.min_group_shards:
+            fallback_shards += len(shards)
+            continue
+        label = f"{sig[0]}/{sig[1]}"
+        try:
+            pack = _GroupPack(
+                source, shards, opts, label, s0, z0, n_global=sharded.n
+            )
+            results.update(pack.solve(cfg))
+        except _GroupFallback as exc:
+            fallback_shards += len(shards)
+            if tel.enabled and tel.solver_events is not None:
+                tel.solver_events.emit(
+                    "mmsim_batch", "group_fallback",
+                    group=label, shards=len(shards), reason=str(exc),
+                )
+            continue
+        batched_groups += 1
+        batched_shards += len(shards)
+        swept += pack.swept_entries
+        wasted += pack.wasted_entries
+    if tel.enabled:
+        tel.metrics.gauge("batch.groups").set(batched_groups)
+        tel.metrics.counter("batch.shards").inc(batched_shards)
+        if fallback_shards:
+            tel.metrics.counter("batch.fallback_shards").inc(fallback_shards)
+        tel.metrics.gauge("batch.padding_waste").set(
+            wasted / swept if swept else 0.0
+        )
+    return results

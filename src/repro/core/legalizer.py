@@ -25,6 +25,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.core.batched import BatchOptions
 from repro.core.qp_builder import LegalizationQP, build_legalization_qp
 from repro.core.resilience import (
     ResilienceConfig,
@@ -91,6 +92,16 @@ class LegalizerConfig:
     #: Batch tiny coupling components into shards of at least this many
     #: variables so Python sweep overhead stays amortized.
     min_shard_variables: int = 256
+    #: Route micro-shards through the batched group engine
+    #: (:mod:`repro.core.batched`): shard at single-component granularity
+    #: (``min_shard_variables`` is ignored), group shards by structural
+    #: signature, and sweep each group as one stacked vectorized MMSIM
+    #: with per-shard convergence masking.  Bit-identical to the
+    #: per-shard path; shards the engine declines fall back to it.
+    batch_micro_shards: bool = False
+    #: log₂ size-bucket cap of the batching signature (see
+    #: :class:`repro.core.batched.BatchOptions`).
+    batch_signature_buckets: int = 8
     #: Closed-form Woodbury top-block solve + LAPACK banded bottom-block
     #: solve + fused sweep (see repro.core.splitting).  ``False`` restores
     #: the pre-optimization SuperLU kernels for A/B benchmarking.
@@ -143,6 +154,10 @@ class LegalizationResult:
     #: One record per shard whose primary MMSIM failed and walked the
     #: solver fallback ladder (empty on healthy runs).
     solver_escalations: List[ShardEscalation] = field(default_factory=list)
+    #: The KKT LCP solution z = [y; r] the MMSIM stage produced — feed it
+    #: back as ``legalize(..., warm_start_z=...)`` to warm-start an
+    #: incremental re-legalization of the same design.
+    kkt_solution: Optional[np.ndarray] = None
     #: The mandatory post-flow legality audit (independent checker).
     legality: Optional[LegalityReport] = None
 
@@ -200,7 +215,11 @@ class MMSIMLegalizer:
         self.config = config or LegalizerConfig()
 
     # ------------------------------------------------------------------
-    def legalize(self, design: Design) -> LegalizationResult:
+    def legalize(
+        self,
+        design: Design,
+        warm_start_z: Optional[np.ndarray] = None,
+    ) -> LegalizationResult:
         cfg = self.config
         tel = current_session()
         tracer = active_tracer()
@@ -242,18 +261,23 @@ class MMSIMLegalizer:
             params = SplittingParameters(beta=cfg.beta, theta=cfg.theta)
             sharded = None
             splitting = None
+            batching = cfg.batch_micro_shards and cfg.shard
             with tracer.span("splitting") as span:
                 if cfg.shard:
                     sharded = shard_legalization_qp(
                         legal_qp,
                         params=params,
-                        min_shard_variables=cfg.min_shard_variables,
+                        min_shard_variables=(
+                            1 if batching else cfg.min_shard_variables
+                        ),
                         fast_kernels=cfg.fast_kernels,
+                        lazy=batching,
                     )
                     span.set_attributes(
                         components=sharded.num_components,
                         shards=sharded.num_shards,
                         fast_kernels=cfg.fast_kernels,
+                        batched=batching,
                     )
                     metrics.gauge("shard.components").set(
                         sharded.num_components
@@ -285,7 +309,24 @@ class MMSIMLegalizer:
                         theorem2_ok = splitting.parameters_satisfy_theorem2()
 
             with tracer.span("mmsim") as span:
-                s0 = self._warm_start(legal_qp) if cfg.warm_start else None
+                z0 = None
+                if warm_start_z is not None:
+                    expected = (
+                        legal_qp.num_variables + legal_qp.num_constraints
+                    )
+                    z0 = np.asarray(warm_start_z, dtype=float)
+                    if z0.shape != (expected,):
+                        warnings.warn(
+                            f"warm_start_z has shape {z0.shape}, expected "
+                            f"({expected},); ignoring the warm start",
+                            stacklevel=2,
+                        )
+                        z0 = None
+                s0 = (
+                    self._warm_start(legal_qp)
+                    if cfg.warm_start and z0 is None
+                    else None
+                )
                 options = MMSIMOptions(
                     gamma=cfg.gamma,
                     tol=cfg.tol,
@@ -306,6 +347,13 @@ class MMSIMLegalizer:
                         if cfg.parallel
                         else None
                     )
+                    batch = (
+                        BatchOptions(
+                            signature_buckets=cfg.batch_signature_buckets
+                        )
+                        if batching
+                        else None
+                    )
                     if rcfg is not None:
                         mmsim_result, escalations = solve_sharded_resilient(
                             sharded,
@@ -313,20 +361,29 @@ class MMSIMLegalizer:
                             s0=s0,
                             max_workers=max_workers,
                             config=rcfg,
+                            z0=z0,
+                            parallel=cfg.parallel,
+                            batch=batch,
                         )
                     else:
                         mmsim_result = solve_sharded(
-                            sharded, options, s0=s0, max_workers=max_workers
+                            sharded,
+                            options,
+                            s0=s0,
+                            max_workers=max_workers,
+                            z0=z0,
+                            parallel=cfg.parallel,
+                            batch=batch,
                         )
                 else:
                     lcp = legal_qp.qp.kkt_lcp()
                     if rcfg is not None:
                         mmsim_result, escalations = solve_monolithic_resilient(
-                            lcp, splitting, options, s0=s0, config=rcfg
+                            lcp, splitting, options, s0=s0, config=rcfg, z0=z0
                         )
                     else:
                         mmsim_result = mmsim_solve(
-                            lcp, splitting, options, s0=s0
+                            lcp, splitting, options, s0=s0, z0=z0
                         )
                 y, _r = split_kkt_solution(
                     mmsim_result.z, legal_qp.num_variables
@@ -401,6 +458,7 @@ class MMSIMLegalizer:
             theorem2_ok=theorem2_ok,
             residual_history=mmsim_result.residual_history,
             solver_escalations=escalations,
+            kkt_solution=mmsim_result.z,
             legality=legality,
         )
 
@@ -418,9 +476,18 @@ class MMSIMLegalizer:
         return s0
 
 
-def legalize(design: Design, config: Optional[LegalizerConfig] = None) -> LegalizationResult:
-    """Convenience function: run the full MMSIM legalization flow."""
-    return MMSIMLegalizer(config).legalize(design)
+def legalize(
+    design: Design,
+    config: Optional[LegalizerConfig] = None,
+    warm_start_z: Optional[np.ndarray] = None,
+) -> LegalizationResult:
+    """Convenience function: run the full MMSIM legalization flow.
+
+    ``warm_start_z`` seeds the MMSIM from a previous run's
+    :attr:`LegalizationResult.kkt_solution` (shape-checked; a mismatch —
+    e.g. the design changed — warns and falls back to the GP warm start).
+    """
+    return MMSIMLegalizer(config).legalize(design, warm_start_z=warm_start_z)
 
 
 def legalize_incremental(

@@ -191,12 +191,21 @@ def solve_shard_resilient(
     s0: Optional[np.ndarray] = None,
     config: Optional[ResilienceConfig] = None,
     shard_index: int = 0,
+    z0: Optional[np.ndarray] = None,
+    primary_result: Optional[LCPResult] = None,
 ) -> Tuple[LCPResult, Optional[ShardEscalation]]:
     """Solve one shard's KKT LCP down the fallback ladder.
 
-    Returns ``(result, escalation)``; *escalation* is None when the
-    primary MMSIM succeeded (the overwhelmingly common case — the result
-    is then bit-identical to a plain :func:`mmsim_solve`).
+    ``z0`` warm-starts the MMSIM rungs from a previous solution (see
+    :func:`repro.lcp.mmsim.warm_start_from_z`); the non-MMSIM rungs
+    ignore it.  ``primary_result`` substitutes an already-computed
+    primary MMSIM result (the batched group engine's output, which is
+    bit-identical to the per-shard solve) for rung 1 — a failed one
+    walks the ladder exactly as if the per-shard solve had failed, and
+    fault injection on ``"mmsim"`` still discards it.  Returns
+    ``(result, escalation)``; *escalation* is None when the primary
+    MMSIM succeeded (the overwhelmingly common case — the result is then
+    bit-identical to a plain :func:`mmsim_solve`).
     """
     opts = options or MMSIMOptions()
     cfg = config or ResilienceConfig()
@@ -215,7 +224,11 @@ def solve_shard_resilient(
     try:
         if cfg.should_fail(shard_index, "mmsim"):
             raise FaultInjected("injected: mmsim")
-        result = mmsim_solve(lcp, splitting, opts, s0=s0)
+        result = (
+            primary_result
+            if primary_result is not None
+            else mmsim_solve(lcp, splitting, opts, s0=s0, z0=z0)
+        )
         if result.converged:
             return result, None
         attempts.append(
@@ -280,7 +293,7 @@ def solve_shard_resilient(
             record_history=False,
         )
         return mmsim_solve(
-            lcp, splitting.rebuilt(fast_kernels=False), safe_opts, s0=s0
+            lcp, splitting.rebuilt(fast_kernels=False), safe_opts, s0=s0, z0=z0
         )
 
     result = try_rung("mmsim_safe", run_safe)
@@ -403,18 +416,39 @@ def solve_sharded_resilient(
     s0: Optional[np.ndarray] = None,
     max_workers: Optional[int] = None,
     config: Optional[ResilienceConfig] = None,
+    z0: Optional[np.ndarray] = None,
+    parallel: Optional[bool] = None,
+    batch=None,
 ) -> Tuple[LCPResult, List[ShardEscalation]]:
     """:func:`repro.core.sharding.solve_sharded` with the fallback ladder.
 
     Shards whose primary MMSIM converges are untouched (bit-identical to
-    the plain sharded solve); failing shards walk the ladder.  Returns
-    the aggregate result plus one :class:`ShardEscalation` per shard that
-    escalated, in shard order.
+    the plain sharded solve); failing shards walk the ladder.  With
+    ``batch`` on, a converged batched result passes rung 1 directly
+    (without ever materializing the shard's own factorization), while a
+    shard that failed inside its batch — or is fault-injected — is
+    peeled out and walks the ladder on its own prefactorized splitting.
+    Returns the aggregate result plus one :class:`ShardEscalation` per
+    shard that escalated, in shard order.
     """
     cfg = config or ResilienceConfig()
     escalations: List[ShardEscalation] = []
 
-    def ladder(shard: Shard, opts: MMSIMOptions, s0_s) -> LCPResult:
+    def ladder(
+        shard: Shard,
+        opts: MMSIMOptions,
+        s0_s,
+        z0_s,
+        primary: Optional[LCPResult] = None,
+    ) -> LCPResult:
+        if (
+            primary is not None
+            and primary.converged
+            and not cfg.should_fail(shard.index, "mmsim")
+        ):
+            # Rung 1 succeeded inside the batch; nothing to escalate and
+            # no reason to build the shard's own LCP or splitting.
+            return primary
         result, escalation = solve_shard_resilient(
             shard.lcp,
             shard.splitting,
@@ -422,13 +456,22 @@ def solve_sharded_resilient(
             s0=s0_s,
             config=cfg,
             shard_index=shard.index,
+            z0=z0_s,
+            primary_result=primary,
         )
         if escalation is not None:
             escalations.append(escalation)  # list.append is thread-safe
         return result
 
     result = solve_sharded(
-        sharded, options, s0=s0, max_workers=max_workers, shard_solver=ladder
+        sharded,
+        options,
+        s0=s0,
+        max_workers=max_workers,
+        shard_solver=ladder,
+        z0=z0,
+        parallel=parallel,
+        batch=batch,
     )
     escalations.sort(key=lambda e: e.shard_index)
     _record_escalations(escalations)
@@ -449,6 +492,7 @@ def solve_monolithic_resilient(
     options: Optional[MMSIMOptions] = None,
     s0: Optional[np.ndarray] = None,
     config: Optional[ResilienceConfig] = None,
+    z0: Optional[np.ndarray] = None,
 ) -> Tuple[LCPResult, List[ShardEscalation]]:
     """The fallback ladder for the unsharded (single-LCP) solve path.
 
@@ -456,7 +500,7 @@ def solve_monolithic_resilient(
     or ``"*"`` apply to it.
     """
     result, escalation = solve_shard_resilient(
-        lcp, splitting, options, s0=s0, config=config, shard_index=0
+        lcp, splitting, options, s0=s0, config=config, shard_index=0, z0=z0
     )
     escalations = [escalation] if escalation is not None else []
     _record_escalations(escalations)

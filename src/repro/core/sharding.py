@@ -26,14 +26,25 @@ Tiny components (single cells in otherwise-empty rows) are batched
 together into shards of at least ``min_shard_variables`` variables so the
 Python-level sweep overhead stays amortized; batching unions of
 components is still exact, it only couples their stopping decision.
+
+Alternatively, :mod:`repro.core.batched` keeps the components as
+*micro-shards* (``min_shard_variables=1``) and sweeps whole groups of
+them through one stacked vectorized MMSIM — per-component stopping
+without per-component Python overhead.  To support it, shards can be
+built *lazily*: they carry only their index sets plus a reference to the
+global matrices (:class:`ShardSource`), and materialize their own
+:class:`~repro.lcp.problem.LCP` / splitting on first access — the
+batched engine slices whole groups at once and only shards peeled out by
+the resilience ladder ever materialize individually.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import os
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
@@ -42,18 +53,57 @@ from scipy.sparse.csgraph import connected_components
 from repro.core.splitting import LegalizationSplitting, SplittingParameters
 from repro.lcp.mmsim import MMSIMOptions, mmsim_solve
 from repro.lcp.problem import LCP, LCPResult, make_kkt_lcp
+from repro.telemetry import current_session
+
+
+@dataclass
+class ShardSource:
+    """The global QP blocks a lazy :class:`Shard` materializes from."""
+
+    H: sp.csr_matrix
+    p: np.ndarray
+    B: sp.csr_matrix
+    b: np.ndarray
+    E: sp.csr_matrix
+    lam: float
+    params: Optional[SplittingParameters]
+    fast_kernels: bool
+
+    def slice_blocks(
+        self, vi: np.ndarray, bi: np.ndarray, ei: np.ndarray
+    ) -> Tuple[sp.csr_matrix, sp.csr_matrix, sp.csr_matrix]:
+        """``(H, B, E)`` restricted to one shard's (or group's) indices.
+
+        Relative order within the slice matches the global order, so the
+        result of slicing a concatenation of shards is exactly the
+        block-diagonal stacking of the per-shard slices (each B/E row
+        only touches its own shard's columns).
+        """
+        nv = len(vi)
+        Hs = self.H[vi][:, vi]
+        Bs = self.B[bi][:, vi] if len(bi) else sp.csr_matrix((0, nv))
+        Es = self.E[ei][:, vi] if len(ei) else sp.csr_matrix((0, nv))
+        return Hs, Bs, Es
 
 
 @dataclass
 class Shard:
-    """One independent sub-LCP: a batch of coupling-graph components."""
+    """One independent sub-LCP: a batch of coupling-graph components.
+
+    ``lcp`` and ``splitting`` materialize lazily from ``source`` on first
+    access (eagerly at build time unless ``build_shards(..., lazy=True)``),
+    so the batched engine never pays per-shard construction for shards it
+    solves in a stacked group.
+    """
 
     index: int
     variables: np.ndarray     # global variable ids (ascending)
     b_rows: np.ndarray        # global B-row ids (ascending)
+    e_rows: np.ndarray        # global E-row ids (ascending)
     num_components: int
-    lcp: LCP
-    splitting: LegalizationSplitting
+    source: Optional[ShardSource] = None
+    _lcp: Optional[LCP] = None
+    _splitting: Optional[LegalizationSplitting] = None
 
     @property
     def num_variables(self) -> int:
@@ -63,6 +113,38 @@ class Shard:
     def num_constraints(self) -> int:
         return len(self.b_rows)
 
+    @property
+    def lcp(self) -> LCP:
+        if self._lcp is None:
+            src = self.source
+            if src is None:
+                raise RuntimeError("lazy shard has no ShardSource")
+            Hs = src.H[self.variables][:, self.variables]
+            Bs = (
+                src.B[self.b_rows][:, self.variables]
+                if len(self.b_rows)
+                else sp.csr_matrix((0, self.num_variables))
+            )
+            self._lcp = make_kkt_lcp(
+                Hs, src.p[self.variables], Bs, src.b[self.b_rows]
+            )
+        return self._lcp
+
+    @property
+    def splitting(self) -> LegalizationSplitting:
+        if self._splitting is None:
+            src = self.source
+            if src is None:
+                raise RuntimeError("lazy shard has no ShardSource")
+            Hs, Bs, Es = src.slice_blocks(
+                self.variables, self.b_rows, self.e_rows
+            )
+            self._splitting = LegalizationSplitting(
+                Hs, Bs, Es, src.lam,
+                params=src.params, fast_kernels=src.fast_kernels,
+            )
+        return self._splitting
+
 
 @dataclass
 class ShardedKKT:
@@ -71,6 +153,7 @@ class ShardedKKT:
     n: int                    # total primal variables
     m: int                    # total constraints
     num_components: int       # coupling-graph components before batching
+    source: Optional[ShardSource] = None
     shards: List[Shard] = field(default_factory=list)
 
     @property
@@ -145,6 +228,7 @@ def build_shards(
     params: Optional[SplittingParameters] = None,
     min_shard_variables: int = 256,
     fast_kernels: bool = True,
+    lazy: bool = False,
 ) -> ShardedKKT:
     """Partition the legalization KKT LCP into independent shards.
 
@@ -153,6 +237,10 @@ def build_shards(
     within a shard matches the global order, so every shard's B keeps the
     chain-adjacency structure the tridiagonal Schur approximation relies
     on.
+
+    With ``lazy=True`` only the index sets are computed here; per-shard
+    matrices materialize on first attribute access (the batched engine's
+    mode of operation — it slices whole groups at once instead).
     """
     H = sp.csr_matrix(H)
     B = sp.csr_matrix(B)
@@ -170,27 +258,36 @@ def build_shards(
     b_shard = shard_of_comp[_rows_to_components(B, labels)]
     e_shard = shard_of_comp[_rows_to_components(E, labels)]
 
-    sharded = ShardedKKT(n=n, m=m, num_components=num_comp)
+    source = ShardSource(
+        H=H, p=p, B=B, b=b, E=E,
+        lam=lam, params=params, fast_kernels=fast_kernels,
+    )
+    sharded = ShardedKKT(
+        n=n, m=m, num_components=num_comp, source=source
+    )
     comp_counts = np.bincount(shard_of_comp, minlength=num_shards)
+    var_order = np.argsort(var_shard, kind="stable")
+    var_starts = np.searchsorted(var_shard[var_order], np.arange(num_shards + 1))
+    b_order = np.argsort(b_shard, kind="stable")
+    b_starts = np.searchsorted(b_shard[b_order], np.arange(num_shards + 1))
+    e_order = np.argsort(e_shard, kind="stable")
+    e_starts = np.searchsorted(e_shard[e_order], np.arange(num_shards + 1))
     for si in range(num_shards):
-        vi = np.where(var_shard == si)[0]
-        bi = np.where(b_shard == si)[0]
-        ei = np.where(e_shard == si)[0]
-        Hs = H[vi][:, vi]
-        Bs = B[bi][:, vi] if len(bi) else sp.csr_matrix((0, len(vi)))
-        Es = E[ei][:, vi] if len(ei) else sp.csr_matrix((0, len(vi)))
-        sharded.shards.append(
-            Shard(
-                index=si,
-                variables=vi,
-                b_rows=bi,
-                num_components=int(comp_counts[si]),
-                lcp=make_kkt_lcp(Hs, p[vi], Bs, b[bi]),
-                splitting=LegalizationSplitting(
-                    Hs, Bs, Es, lam, params=params, fast_kernels=fast_kernels
-                ),
-            )
+        vi = np.sort(var_order[var_starts[si]:var_starts[si + 1]])
+        bi = np.sort(b_order[b_starts[si]:b_starts[si + 1]])
+        ei = np.sort(e_order[e_starts[si]:e_starts[si + 1]])
+        shard = Shard(
+            index=si,
+            variables=vi,
+            b_rows=bi,
+            e_rows=ei,
+            num_components=int(comp_counts[si]),
+            source=source,
         )
+        if not lazy:
+            shard.lcp          # noqa: B018 - materialize eagerly
+            shard.splitting    # noqa: B018
+        sharded.shards.append(shard)
     return sharded
 
 
@@ -199,6 +296,7 @@ def shard_legalization_qp(
     params: Optional[SplittingParameters] = None,
     min_shard_variables: int = 256,
     fast_kernels: bool = True,
+    lazy: bool = False,
 ) -> ShardedKKT:
     """Shard a :class:`repro.core.qp_builder.LegalizationQP`."""
     qp = legal_qp.qp
@@ -212,20 +310,61 @@ def shard_legalization_qp(
         params=params,
         min_shard_variables=min_shard_variables,
         fast_kernels=fast_kernels,
+        lazy=lazy,
     )
 
 
-#: Per-shard solve hook: ``(shard, options, s0_slice) -> LCPResult``.
-#: The default runs :func:`repro.lcp.mmsim.mmsim_solve` on the shard's
+#: Per-shard solve hook:
+#: ``(shard, options, s0_slice, z0_slice, primary) -> LCPResult``.
+#: ``primary`` is the shard's result from the batched group solve (None
+#: when the shard was not batched).  The default hook returns it as-is
+#: or runs :func:`repro.lcp.mmsim.mmsim_solve` on the shard's
 #: prefactorized splitting; :mod:`repro.core.resilience` substitutes the
-#: fallback-ladder solver.
-ShardSolver = Callable[[Shard, MMSIMOptions, Optional[np.ndarray]], LCPResult]
+#: fallback-ladder solver (auditing the primary before accepting it).
+ShardSolver = Callable[
+    [
+        Shard,
+        MMSIMOptions,
+        Optional[np.ndarray],
+        Optional[np.ndarray],
+        Optional[LCPResult],
+    ],
+    LCPResult,
+]
 
 
 def _default_shard_solver(
-    shard: Shard, opts: MMSIMOptions, s0: Optional[np.ndarray]
+    shard: Shard,
+    opts: MMSIMOptions,
+    s0: Optional[np.ndarray],
+    z0: Optional[np.ndarray],
+    primary: Optional[LCPResult] = None,
 ) -> LCPResult:
-    return mmsim_solve(shard.lcp, shard.splitting, opts, s0=s0)
+    if primary is not None:
+        return primary
+    return mmsim_solve(shard.lcp, shard.splitting, opts, s0=s0, z0=z0)
+
+
+def select_workers(
+    num_shards: int, max_workers: Optional[int] = None
+) -> int:
+    """Explicit thread-pool sizing for a parallel sharded solve.
+
+    ``os.cpu_count()`` when the caller did not pin a count, always capped
+    at ``num_shards`` — a pool wider than the shard list only buys idle
+    threads.  Returns at least 1.
+    """
+    workers = max_workers if max_workers is not None else os.cpu_count() or 1
+    return max(1, min(workers, num_shards))
+
+
+def slice_shard_vector(
+    vec: Optional[np.ndarray], shard: Shard, n: int
+) -> Optional[np.ndarray]:
+    """Slice a global KKT-space vector (length n + m) down to one shard."""
+    if vec is None:
+        return None
+    return np.concatenate([vec[shard.variables], vec[n + shard.b_rows]])
 
 
 def solve_sharded(
@@ -234,19 +373,40 @@ def solve_sharded(
     s0: Optional[np.ndarray] = None,
     max_workers: Optional[int] = None,
     shard_solver: Optional[ShardSolver] = None,
+    z0: Optional[np.ndarray] = None,
+    parallel: Optional[bool] = None,
+    batch: Union[None, bool, "object"] = None,
 ) -> LCPResult:
     """Run the MMSIM on every shard and scatter back one global solution.
 
-    ``s0`` is the *global* warm start (length n + m), sliced per shard.
-    With ``max_workers`` the shards run on a thread pool (the sparse
-    matvec / LAPACK kernels release the GIL); per-iteration telemetry
-    events are suppressed in that mode since the sinks are not meant for
-    concurrent emitters.
+    ``s0`` is the *global* warm start (length n + m), sliced per shard;
+    ``z0`` is a global previous *solution* instead (see
+    :func:`repro.lcp.mmsim.warm_start_from_z`; ``s0`` wins when both are
+    given).  ``parallel`` runs shards on a thread pool (the sparse
+    matvec / LAPACK kernels release the GIL) sized by
+    :func:`select_workers` — ``os.cpu_count()`` capped at the shard
+    count unless ``max_workers`` pins it; the chosen width is recorded in
+    the telemetry trace (``shard.workers`` gauge + current-span
+    attribute).  Passing ``max_workers`` alone still implies
+    ``parallel=True`` for backward compatibility.  Per-iteration
+    telemetry events are suppressed in parallel mode since the sinks are
+    not meant for concurrent emitters.
+
+    ``batch`` enables the stacked micro-shard engine
+    (:mod:`repro.core.batched`): ``True`` (or a
+    :class:`~repro.core.batched.BatchOptions`) groups shards by
+    structural signature and sweeps each group through one vectorized
+    MMSIM before any per-shard dispatch; per-shard results are
+    bit-identical to the per-shard path.  Shards the engine declines
+    (ineligible kernels, tiny groups) fall through to the normal
+    per-shard solve.  Ignored when ``options.record_history`` is set
+    (the deprecated history path stays per-shard).
 
     ``shard_solver`` replaces the per-shard solve (default: the plain
     MMSIM); :func:`repro.core.resilience.solve_sharded_resilient` uses it
     to run each shard down the solver fallback ladder.  The hook must be
-    thread-safe when ``max_workers`` is set.
+    thread-safe when running parallel; it receives the batched engine's
+    result for the shard (if any) as its fifth argument.
 
     The aggregate :class:`LCPResult` reports ``iterations`` as the
     maximum over shards (the serial-equivalent sweep count),
@@ -257,21 +417,45 @@ def solve_sharded(
     opts = options or MMSIMOptions()
     solver = shard_solver or _default_shard_solver
     n = sharded.n
-    parallel = max_workers is not None and sharded.num_shards > 1
+    if parallel is None:
+        parallel = max_workers is not None
+    use_pool = parallel and sharded.num_shards > 1
+    workers = select_workers(sharded.num_shards, max_workers) if use_pool else 0
+    tel = current_session()
+    if tel.enabled:
+        tel.metrics.gauge("shard.workers").set(workers)
+        span = tel.tracer.current_span
+        if span is not None:
+            span.set_attribute("shard_workers", workers)
     shard_opts = (
-        dataclasses.replace(opts, telemetry=None) if parallel else opts
+        dataclasses.replace(opts, telemetry=None) if use_pool else opts
     )
 
-    def run(shard: Shard) -> LCPResult:
-        s0_s = None
-        if s0 is not None:
-            s0_s = np.concatenate(
-                [s0[shard.variables], s0[n + shard.b_rows]]
-            )
-        return solver(shard, shard_opts, s0_s)
+    primary: Dict[int, LCPResult] = {}
+    if batch and not opts.record_history and sharded.num_shards:
+        from repro.core.batched import BatchOptions, solve_shards_batched
 
-    if parallel:
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        batch_opts = batch if isinstance(batch, BatchOptions) else None
+        # The batched pass runs serially in the caller's thread, so it
+        # keeps the telemetry-carrying options even in parallel mode.
+        primary = solve_shards_batched(
+            sharded, opts, s0=s0, z0=z0, batch=batch_opts
+        )
+
+    def run(shard: Shard) -> LCPResult:
+        pre = primary.get(shard.index)
+        if pre is not None and solver is _default_shard_solver:
+            return pre
+        s0_s = slice_shard_vector(s0, shard, n)
+        z0_s = slice_shard_vector(z0, shard, n) if s0 is None else None
+        return solver(shard, shard_opts, s0_s, z0_s, pre)
+
+    all_prebatched = (
+        solver is _default_shard_solver
+        and len(primary) == sharded.num_shards
+    )
+    if use_pool and not all_prebatched:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
             results = list(pool.map(run, sharded.shards))
     else:
         results = [run(shard) for shard in sharded.shards]

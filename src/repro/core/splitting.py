@@ -60,6 +60,9 @@ from repro.telemetry import current_tracer
 #: Relative probe-vector tolerance for accepting a specialized kernel.
 _KERNEL_VERIFY_TOL = 1e-9
 
+#: Deterministic probe vectors keyed by size (see ``_probe_vector``).
+_PROBE_CACHE: dict = {}
+
 try:  # pragma: no cover - exercised indirectly by every fast solve
     from scipy.sparse import _sparsetools as _spt
 
@@ -247,6 +250,13 @@ class LegalizationSplitting:
         be set.
         """
         self.fast_kernels = fast_kernels
+        #: Which kernel won each block solve — "woodbury"/"superlu" for
+        #: the top, "scalar"/"pttrs"/"gttrs"/"superlu"/"none" for the
+        #: bottom.  The batched micro-shard engine
+        #: (:mod:`repro.core.batched`) requires the specialized kernels
+        #: and reads these to decide group eligibility.
+        self.top_kernel = "superlu"
+        self.bottom_kernel = "none"
         self.BT = self.B.T.tocsr()
         tracer = current_tracer()
         with tracer.span(
@@ -283,20 +293,34 @@ class LegalizationSplitting:
         mismatch (caller passed a different H) falls back to SuperLU.
         """
         beta = self.params.beta
-        top = (self.H / beta + sp.identity(self.n)).tocsc()
         E = getattr(self, "E", None)
         lam = getattr(self, "lam", None)
         self._H_inv_top: Optional[sp.csr_matrix] = None
+        self.top_kernel = "superlu"
         if fast_kernels and E is not None and lam is not None:
             alpha = (1.0 + beta) / beta
             inv_top = (
                 woodbury_h_inverse(E, lam / (1.0 + beta)) / alpha
             ).tocsr()
+            # Pure-chain shards (E empty) have H = I exactly; the Woodbury
+            # inverse is the identity and needs no probe verification, so
+            # the common micro-shard case skips assembling H/β* + I
+            # entirely.
+            if E.nnz == 0 and self.H.nnz == self.n and np.array_equal(
+                self.H.diagonal(), np.ones(self.n)
+            ):
+                self._H_inv_top = inv_top
+                self.top_kernel = "woodbury"
+                return lambda r, _M=inv_top: _M @ r
+            top = (self.H / beta + sp.identity(self.n)).tocsc()
             probe = self._probe_vector(self.n)
             err = np.max(np.abs(top @ (inv_top @ probe) - probe))
             if err <= _KERNEL_VERIFY_TOL * max(1.0, float(np.max(np.abs(probe)))):
                 self._H_inv_top = inv_top
+                self.top_kernel = "woodbury"
                 return lambda r, _M=inv_top: _M @ r
+            return spla.factorized(top)
+        top = (self.H / beta + sp.identity(self.n)).tocsc()
         return spla.factorized(top)
 
     def _build_bottom_solver(self, fast_kernels: bool) -> Callable:
@@ -314,6 +338,7 @@ class LegalizationSplitting:
             if self.m == 1:
                 pivot = float(d[0])
                 if pivot != 0.0:
+                    self.bottom_kernel = "scalar"
                     return lambda r, _p=pivot: r / _p
             else:
                 dl = bottom.diagonal(-1)
@@ -328,6 +353,7 @@ class LegalizationSplitting:
                             np.max(np.abs(bottom @ x - probe))
                             <= _KERNEL_VERIFY_TOL * scale
                         ):
+                            self.bottom_kernel = "pttrs"
                             return (
                                 lambda r, _d=df, _e=ef:
                                 lapack.dpttrs(_d, _e, r)[0]
@@ -339,15 +365,26 @@ class LegalizationSplitting:
                         np.max(np.abs(bottom @ x - probe))
                         <= _KERNEL_VERIFY_TOL * scale
                     ):
+                        self.bottom_kernel = "gttrs"
                         return (
                             lambda r, _a=dlf, _b=df, _c=duf, _d2=du2, _p=ipiv:
                             lapack.dgttrs(_a, _b, _c, _d2, _p, r)[0]
                         )
+        self.bottom_kernel = "superlu"
         return spla.factorized(bottom.tocsc())
 
     @staticmethod
     def _probe_vector(size: int) -> np.ndarray:
-        return np.random.default_rng(20170618).standard_normal(size)
+        # Cached per size: micro-sharded designs build thousands of tiny
+        # splittings and the RNG construction dominated their probe cost.
+        # The cached array is marked read-only; every LAPACK wrapper used
+        # on it copies (overwrite_b defaults off).
+        probe = _PROBE_CACHE.get(size)
+        if probe is None:
+            probe = np.random.default_rng(20170618).standard_normal(size)
+            probe.setflags(write=False)
+            _PROBE_CACHE[size] = probe
+        return probe
 
     # ------------------------------------------------------------------
     # Splitting protocol

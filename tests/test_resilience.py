@@ -202,11 +202,11 @@ class TestShardLadder:
         calls = {"n": 0}
         real = resilience.mmsim_solve
 
-        def boom(lcp, splitting, opts, s0=None):
+        def boom(lcp, splitting, opts, s0=None, z0=None):
             calls["n"] += 1
             if calls["n"] == 1:
                 raise FloatingPointError("kernel blew up")
-            return real(lcp, splitting, opts, s0=s0)
+            return real(lcp, splitting, opts, s0=s0, z0=z0)
 
         monkeypatch.setattr(resilience, "mmsim_solve", boom)
         result, escalation = solve_shard_resilient(
@@ -381,8 +381,8 @@ class TestCLI:
 
         real = MMSIMLegalizer.legalize
 
-        def fake_legalize(self, design):
-            result = real(self, design)
+        def fake_legalize(self, design, **kwargs):
+            result = real(self, design, **kwargs)
             result.legality = Illegal()
             return result
 
