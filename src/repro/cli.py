@@ -101,10 +101,14 @@ def cmd_legalize(args: argparse.Namespace) -> int:
     if state_path and args.algorithm == "mmsim":
         import os
 
-        import numpy as np
+        from repro.core.state import load_solver_state
 
         if os.path.exists(state_path):
-            warm_start_z = np.load(state_path)
+            # The state carries a design fingerprint; a stale file (saved
+            # from a structurally different design) is rejected inside
+            # legalize() with a StaleWarmStart warning instead of crashing
+            # mid-sweep or silently warping the start point.
+            warm_start_z = load_solver_state(state_path)
             print(f"warm-starting from {state_path}")
 
     def _legalize(target):
@@ -112,26 +116,31 @@ def cmd_legalize(args: argparse.Namespace) -> int:
             return target.legalize(design, warm_start_z=warm_start_z)
         return target.legalize(design)
 
+    from repro.rows import InfeasibleAssignment
+
     tracing = bool(args.trace or args.trace_chrome)
-    if tracing:
-        with telemetry.session(event_limit=args.trace_events) as tel:
+    try:
+        if tracing:
+            with telemetry.session(event_limit=args.trace_events) as tel:
+                result = _legalize(legalizer)
+            if args.trace:
+                telemetry.write_jsonl(tel, args.trace)
+                print(f"wrote {args.trace}")
+            if args.trace_chrome:
+                telemetry.write_chrome_trace(tel, args.trace_chrome)
+                print(f"wrote {args.trace_chrome}")
+        else:
             result = _legalize(legalizer)
-        if args.trace:
-            telemetry.write_jsonl(tel, args.trace)
-            print(f"wrote {args.trace}")
-        if args.trace_chrome:
-            telemetry.write_chrome_trace(tel, args.trace_chrome)
-            print(f"wrote {args.trace_chrome}")
-    else:
-        result = _legalize(legalizer)
+    except InfeasibleAssignment as exc:
+        print(f"error: infeasible design: {exc}", file=sys.stderr)
+        return 3
 
     if state_path and getattr(result, "kkt_solution", None) is not None:
-        import numpy as np
+        from repro.core.state import SolverState, save_solver_state
 
         # Write to the exact path (np.save would append ".npy" to a bare
         # filename and break the reload round-trip).
-        with open(state_path, "wb") as fh:
-            np.save(fh, result.kkt_solution)
+        save_solver_state(state_path, SolverState.from_result(design, result))
         print(f"wrote solver state to {state_path}")
 
     print(result.summary())
@@ -159,6 +168,31 @@ def cmd_legalize(args: argparse.Namespace) -> int:
             return 2
         return 1
     return 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro import telemetry
+    from repro.fuzz import FuzzOptions, run_fuzz
+
+    opts = FuzzOptions(
+        cases=args.cases,
+        seed=args.seed,
+        time_budget=args.time_budget,
+        shrink=not args.no_shrink,
+        corpus_dir=None if args.no_write else args.corpus,
+        max_failures=args.max_failures,
+    )
+    with telemetry.session() as tel:
+        report = run_fuzz(opts)
+    print(report.summary())
+    counters = {
+        name: snap.get("value")
+        for name, snap in tel.metrics.snapshot().items()
+        if name.startswith("fuzz.")
+    }
+    if counters:
+        print("telemetry:", ", ".join(f"{k}={v:g}" for k, v in counters.items()))
+    return 0 if report.ok else 1
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -284,6 +318,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-events", type=int, default=100000,
                    help="max solver events kept in memory (default 100000)")
     p.set_defaults(func=cmd_legalize)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: random designs x every solver config",
+    )
+    p.add_argument("--cases", type=int, default=100,
+                   help="number of scenarios to generate (default 100)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed; case seeds derive deterministically")
+    p.add_argument("--time-budget", type=float, default=None, metavar="SEC",
+                   help="wall-clock budget in seconds; the campaign stops "
+                        "cleanly (and shrinking is bounded) when exceeded")
+    p.add_argument("--corpus", default="tests/fuzz_corpus", metavar="DIR",
+                   help="where minimized Bookshelf repros are written "
+                        "(default tests/fuzz_corpus)")
+    p.add_argument("--no-write", action="store_true",
+                   help="do not persist repros for failing cases")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="skip ddmin minimization of failing cases")
+    p.add_argument("--max-failures", type=int, default=10,
+                   help="stop the campaign after this many failing cases")
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("check", help="check legality of a design file")
     p.add_argument("input")

@@ -24,6 +24,14 @@ from repro.core.resilience import (
     solve_sharded_resilient,
 )
 from repro.core.row_assign import RowAssignment, assign_rows
+from repro.core.state import (
+    SolverState,
+    StaleWarmStart,
+    design_fingerprint,
+    load_solver_state,
+    save_solver_state,
+)
+from repro.rows.core_area import InfeasibleAssignment
 from repro.core.sharding import (
     Shard,
     ShardedKKT,
@@ -52,6 +60,12 @@ __all__ = [
     "legalize_incremental",
     "assign_rows",
     "RowAssignment",
+    "InfeasibleAssignment",
+    "SolverState",
+    "StaleWarmStart",
+    "design_fingerprint",
+    "load_solver_state",
+    "save_solver_state",
     "split_cells",
     "restore_cells",
     "SubcellModel",

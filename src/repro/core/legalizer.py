@@ -36,6 +36,7 @@ from repro.core.resilience import (
 from repro.core.row_assign import assign_rows
 from repro.core.sharding import shard_legalization_qp, solve_sharded
 from repro.core.splitting import LegalizationSplitting, SplittingParameters
+from repro.core.state import SolverState, StaleWarmStart
 from repro.core.subcells import restore_cells, split_cells
 from repro.core.tetris_fix import TetrisFixStats, tetris_allocate
 from repro.lcp.mmsim import MMSIMOptions, mmsim_solve
@@ -218,7 +219,7 @@ class MMSIMLegalizer:
     def legalize(
         self,
         design: Design,
-        warm_start_z: Optional[np.ndarray] = None,
+        warm_start_z: "Optional[np.ndarray | SolverState]" = None,
     ) -> LegalizationResult:
         cfg = self.config
         tel = current_session()
@@ -314,14 +315,31 @@ class MMSIMLegalizer:
                     expected = (
                         legal_qp.num_variables + legal_qp.num_constraints
                     )
-                    z0 = np.asarray(warm_start_z, dtype=float)
-                    if z0.shape != (expected,):
+                    if isinstance(warm_start_z, SolverState):
+                        reason = warm_start_z.matches(
+                            design, expected_dim=expected
+                        )
+                        z0 = None if reason else warm_start_z.z
+                    else:
+                        z0 = np.asarray(warm_start_z, dtype=float)
+                        reason = (
+                            None
+                            if z0.shape == (expected,)
+                            else (
+                                f"warm_start_z has shape {z0.shape}, "
+                                f"expected ({expected},)"
+                            )
+                        )
+                        if reason:
+                            z0 = None
+                    if reason:
                         warnings.warn(
-                            f"warm_start_z has shape {z0.shape}, expected "
-                            f"({expected},); ignoring the warm start",
+                            f"rejecting stale warm start: {reason}; "
+                            "falling back to the GP warm start",
+                            StaleWarmStart,
                             stacklevel=2,
                         )
-                        z0 = None
+                        metrics.counter("legalizer.stale_warm_starts").inc()
                 s0 = (
                     self._warm_start(legal_qp)
                     if cfg.warm_start and z0 is None
@@ -479,13 +497,18 @@ class MMSIMLegalizer:
 def legalize(
     design: Design,
     config: Optional[LegalizerConfig] = None,
-    warm_start_z: Optional[np.ndarray] = None,
+    warm_start_z: "Optional[np.ndarray | SolverState]" = None,
 ) -> LegalizationResult:
     """Convenience function: run the full MMSIM legalization flow.
 
     ``warm_start_z`` seeds the MMSIM from a previous run's
-    :attr:`LegalizationResult.kkt_solution` (shape-checked; a mismatch —
-    e.g. the design changed — warns and falls back to the GP warm start).
+    :attr:`LegalizationResult.kkt_solution` — either the raw vector
+    (dimension-checked only) or a :class:`~repro.core.state.SolverState`,
+    which additionally carries a design fingerprint.  A stale state (wrong
+    dimension, or a fingerprint from a structurally different design) is
+    *rejected*: a :class:`~repro.core.state.StaleWarmStart` warning is
+    emitted and the run falls back to the GP warm start instead of
+    crashing mid-sweep or silently warping the start point.
     """
     return MMSIMLegalizer(config).legalize(design, warm_start_z=warm_start_z)
 

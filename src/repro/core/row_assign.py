@@ -19,6 +19,7 @@ from typing import Dict, List
 
 from repro.netlist.cell import CellInstance
 from repro.netlist.design import Design
+from repro.rows.core_area import InfeasibleAssignment
 
 
 @dataclass
@@ -47,11 +48,19 @@ def assign_rows(design: Design) -> RowAssignment:
     Sets ``cell.y`` to the row bottom, ``cell.row_index`` to the bottom row,
     and ``cell.flipped`` where rail matching required a vertical flip.
     ``cell.x`` keeps the GP x position — the MMSIM stage optimizes it next.
+
+    Raises :class:`~repro.rows.InfeasibleAssignment` (naming the offending
+    cell) when a cell has no legal row at all — the design, not the flow,
+    is at fault, and callers get a structured error instead of a crash or
+    a silently wrong row deeper in the pipeline.
     """
     core = design.core
     assignment = RowAssignment()
     for cell in design.movable_cells:
-        row = core.nearest_correct_row(cell.master, cell.gp_y)
+        try:
+            row = core.nearest_correct_row(cell.master, cell.gp_y)
+        except InfeasibleAssignment as exc:
+            raise exc.for_cell(cell.name) from None
         cell.row_index = row
         cell.y = core.row_y(row)
         cell.x = cell.gp_x

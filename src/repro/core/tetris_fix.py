@@ -23,8 +23,10 @@ import math
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.legality.checker import row_tolerance, site_tolerance
 from repro.netlist.cell import CellInstance
 from repro.netlist.design import Design
+from repro.rows.core_area import InfeasibleAssignment
 from repro.rows.sitemap import SiteMap
 
 
@@ -58,20 +60,28 @@ def tetris_allocate(design: Design) -> TetrisFixStats:
     # often aren't), so the blocked region is the full span of sites/rows
     # its rectangle *touches* — rounding to the nearest row/site would
     # leave partially-covered sites marked free and invite overlaps.
-    # Parts outside the core block nothing (there is nothing to block).
+    # Parts outside the core block nothing (there is nothing to block),
+    # and overlapping fixed cells block their union (SiteMap.block).
+    # The boundary epsilon is the same ulp-aware tolerance the legality
+    # checker uses: a fixed 1e-9 in row units collapses at large origins
+    # (e.g. yl ~ 5e7 with sub-unit rows), where the float rounding of
+    # (y - yl) / row_height exceeds it and an aligned obstacle on row k
+    # appears to touch row k - 1 as well.
+    eps_x = site_tolerance(core) / core.site_width
+    eps_y = row_tolerance(core) / core.row_height
     for cell in design.cells:
         if not cell.fixed:
             continue
-        site_lo = int(math.floor((cell.x - core.xl) / core.site_width + 1e-9))
+        site_lo = int(math.floor((cell.x - core.xl) / core.site_width + eps_x))
         site_hi = int(
-            math.ceil((cell.x + cell.width - core.xl) / core.site_width - 1e-9)
+            math.ceil((cell.x + cell.width - core.xl) / core.site_width - eps_x)
         )
-        row_lo = int(math.floor((cell.y - core.yl) / core.row_height + 1e-9))
+        row_lo = int(math.floor((cell.y - core.yl) / core.row_height + eps_y))
         row_hi = int(
             math.ceil(
                 (cell.y + cell.height(core.row_height) - core.yl)
                 / core.row_height
-                - 1e-9
+                - eps_y
             )
         )
         site_lo = max(site_lo, 0)
@@ -79,14 +89,17 @@ def tetris_allocate(design: Design) -> TetrisFixStats:
         if site_hi <= site_lo:
             continue
         for row in range(max(row_lo, 0), min(row_hi, core.num_rows)):
-            site_map.occupy(row, site_lo, site_hi - site_lo)
+            site_map.block(row, site_lo, site_hi - site_lo)
 
     # Pass 1: snap to sites and commit in x order; collect illegal cells.
     order = sorted(design.movable_cells, key=lambda c: (c.x, c.id))
     illegal: List[CellInstance] = []
     for cell in order:
         if cell.row_index is None:
-            cell.row_index = core.nearest_correct_row(cell.master, cell.y)
+            try:
+                cell.row_index = core.nearest_correct_row(cell.master, cell.y)
+            except InfeasibleAssignment as exc:
+                raise exc.for_cell(cell.name) from None
             cell.y = core.row_y(cell.row_index)
         snapped = core.snap_x(cell.x)
         site = int(round((snapped - core.xl) / core.site_width))
@@ -133,6 +146,18 @@ def tetris_allocate(design: Design) -> TetrisFixStats:
         from repro.baselines.refine import placerow_refine
 
         placerow_refine(design)
+
+    # Canonicalize: re-derive every committed coordinate from its
+    # site/row index with the same formulas the snap path uses
+    # (xl + k*site_width, row_y).  Compaction and PlaceRow compute
+    # site-aligned positions arithmetically (cursors, cluster sums);
+    # at fractional site widths the result can differ from the
+    # canonical value by an ulp, which breaks bitwise idempotence of
+    # the whole flow (re-legalizing the output moves cells by 1e-15).
+    for cell in design.movable_cells:
+        cell.x = core.snap_x(cell.x)
+        if cell.row_index is not None:
+            cell.y = core.row_y(cell.row_index)
 
     stats.fix_displacement = sum(
         abs(c.x - pre_fix[c.id][0]) + abs(c.y - pre_fix[c.id][1])

@@ -1,0 +1,61 @@
+"""Differential fuzzing and invariant auditing for the legalization flow.
+
+The fuzzer closes the loop the unit tests cannot: it *generates* designs
+the test author did not think of (degenerate cores, rail-locked cells,
+off-grid obstacles, duplicate GP points, extreme coordinate scales), runs
+each one through **every** solver configuration, and cross-checks the
+results against each other, against the exact reference QP, and against
+metamorphic expectations.  Failures are minimized to a handful of cells
+and stored as Bookshelf repros under ``tests/fuzz_corpus/``.
+
+Entry points: ``repro fuzz`` on the command line, :func:`run_fuzz` from
+Python, :func:`run_oracle` for a single scenario.
+"""
+
+from repro.fuzz.corpus import iter_corpus, load_repro, write_repro
+from repro.fuzz.generator import (
+    Scenario,
+    generate_scenario,
+    relegalization_input,
+    translate_design,
+)
+from repro.fuzz.harness import (
+    CaseOutcome,
+    FuzzOptions,
+    FuzzReport,
+    case_seeds,
+    run_fuzz,
+)
+from repro.fuzz.invariants import INVARIANTS, CaseReport, InvariantFailure
+from repro.fuzz.oracle import (
+    OracleOptions,
+    oracle_configs,
+    run_oracle,
+    run_oracle_design,
+)
+from repro.fuzz.shrinker import ShrinkResult, shrink_design, subset_design
+
+__all__ = [
+    "INVARIANTS",
+    "CaseOutcome",
+    "CaseReport",
+    "FuzzOptions",
+    "FuzzReport",
+    "InvariantFailure",
+    "OracleOptions",
+    "Scenario",
+    "ShrinkResult",
+    "case_seeds",
+    "generate_scenario",
+    "iter_corpus",
+    "load_repro",
+    "oracle_configs",
+    "relegalization_input",
+    "run_fuzz",
+    "run_oracle",
+    "run_oracle_design",
+    "shrink_design",
+    "subset_design",
+    "translate_design",
+    "write_repro",
+]

@@ -1,0 +1,66 @@
+"""Fuzz-corpus persistence: minimized Bookshelf repros + metadata.
+
+Each failing case is stored as one directory under the corpus root::
+
+    tests/fuzz_corpus/<invariant>_s<seed>/
+        repro.aux  repro.nodes  repro.pl  repro.scl  repro.nets  repro.rails
+        meta.json
+
+The Bookshelf suite is the *pre-legalization* design (positions == GP),
+written with the full-precision serializer so replaying it is bit-exact.
+``meta.json`` records the scenario seed/kind/knobs, the violated
+invariant, and the shrink statistics — everything a regression test needs
+to re-run the exact failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterator, Tuple
+
+from repro.io import read_design, write_design
+from repro.netlist.design import Design
+
+META_NAME = "meta.json"
+BASENAME = "repro"
+
+
+def case_dir_name(invariant: str, seed: int) -> str:
+    return f"{invariant}_s{seed}"
+
+
+def write_repro(
+    root: str, design: Design, meta: Dict[str, Any]
+) -> str:
+    """Persist one minimized repro; returns the case directory."""
+    name = case_dir_name(meta.get("invariant", "failure"), meta.get("seed", 0))
+    case_dir = os.path.join(root, name)
+    suffix = 1
+    while os.path.exists(os.path.join(case_dir, META_NAME)):
+        suffix += 1
+        case_dir = os.path.join(root, f"{name}_{suffix}")
+    os.makedirs(case_dir, exist_ok=True)
+    write_design(design, case_dir, basename=BASENAME)
+    with open(os.path.join(case_dir, META_NAME), "w") as fh:
+        json.dump(meta, fh, indent=2, sort_keys=True, default=str)
+        fh.write("\n")
+    return case_dir
+
+
+def load_repro(case_dir: str) -> Tuple[Design, Dict[str, Any]]:
+    """Load a persisted repro (design rebuilt from the Bookshelf suite)."""
+    with open(os.path.join(case_dir, META_NAME)) as fh:
+        meta = json.load(fh)
+    design = read_design(os.path.join(case_dir, f"{BASENAME}.aux"))
+    return design, meta
+
+
+def iter_corpus(root: str) -> Iterator[str]:
+    """Yield every case directory under the corpus root (sorted)."""
+    if not os.path.isdir(root):
+        return
+    for entry in sorted(os.listdir(root)):
+        case_dir = os.path.join(root, entry)
+        if os.path.isfile(os.path.join(case_dir, META_NAME)):
+            yield case_dir

@@ -1,0 +1,410 @@
+"""Seeded adversarial scenario generation for the differential fuzzer.
+
+A :class:`Scenario` is a *recipe*, not a design: ``build()`` regenerates
+the same :class:`~repro.netlist.Design` bit-for-bit every time it is
+called, so the oracle can hand every solver configuration its own pristine
+copy without cloning a mutated object, and a failing seed printed by the
+harness is enough to reproduce a case from scratch.
+
+The scenario space deliberately over-samples the flow's hard edges:
+
+``benchgen``
+    Tiny slices of the paper's ISPD-2015-style profiles, with the
+    generator's own adversarial knobs (triple-height cells, dense
+    blockage shatter).
+``adversarial``
+    Directly constructed cores with mixed-height cells, duplicate GP
+    coordinates, and fixed obstacles that may sit off the site grid or
+    partially outside the core.
+``single_row``
+    Degenerate one-row cores — no rail choice, no vertical slack.
+``tiny_sites``
+    Near-zero site widths (1e-3 database units), where fixed float
+    tolerances break down.
+``extreme_origin``
+    Cores whose origin (~1e8) dwarfs the site pitch, stressing the
+    ulp-aware legality tolerances.
+``infeasible``
+    Designs with a cell that provably has no legal row (taller than the
+    core, or an even-height master whose only fit row has the wrong
+    rail).  The oracle asserts these fail with a *structured*
+    :class:`~repro.rows.InfeasibleAssignment` naming the cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+import numpy as np
+
+from repro.benchgen import generate_benchmark, get_profile
+from repro.netlist.cell import CellMaster, RailType
+from repro.netlist.design import Design
+from repro.rows.core_area import CoreArea
+from repro.rows.power import RailScheme
+
+#: kind -> sampling weight (normalized below).
+KIND_WEIGHTS = {
+    "benchgen": 0.28,
+    "adversarial": 0.30,
+    "single_row": 0.10,
+    "tiny_sites": 0.10,
+    "extreme_origin": 0.12,
+    "infeasible": 0.10,
+}
+
+_KINDS = sorted(KIND_WEIGHTS)
+_PROBS = np.array([KIND_WEIGHTS[k] for k in _KINDS])
+_PROBS = _PROBS / _PROBS.sum()
+
+#: benchgen profiles small enough to slice down to fuzz size.
+_PROFILES = ("des_perf_1", "fft_2", "matrix_mult_1", "pci_bridge32_a")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A deterministic design recipe plus its expectation."""
+
+    seed: int
+    kind: str
+    knobs: Dict[str, Any] = field(default_factory=dict)
+    expect_infeasible: bool = False
+
+    def build(self) -> Design:
+        """Regenerate the design (bit-identical on every call)."""
+        return _BUILDERS[self.kind](self.knobs)
+
+    def describe(self) -> str:
+        return f"seed={self.seed} kind={self.kind} knobs={self.knobs}"
+
+
+def generate_scenario(seed: int) -> Scenario:
+    """Sample one scenario from the given seed (deterministic)."""
+    rng = np.random.default_rng(seed)
+    kind = _KINDS[int(rng.choice(len(_KINDS), p=_PROBS))]
+    sub_seed = int(rng.integers(0, 2**31 - 1))
+    knobs = _KNOB_SAMPLERS[kind](rng, sub_seed)
+    return Scenario(
+        seed=seed,
+        kind=kind,
+        knobs=knobs,
+        expect_infeasible=(kind == "infeasible"),
+    )
+
+
+# ----------------------------------------------------------------------
+# Knob samplers (rng draws -> JSON-serializable knob dicts)
+# ----------------------------------------------------------------------
+def _knobs_benchgen(rng: np.random.Generator, sub_seed: int) -> Dict[str, Any]:
+    profile_name = _PROFILES[int(rng.integers(len(_PROFILES)))]
+    profile = get_profile(profile_name)
+    target = int(rng.integers(18, 55))
+    scale = max(target / max(profile.num_cells, 1), 1e-4)
+    return {
+        "profile": profile_name,
+        "scale": float(scale),
+        "gen_seed": sub_seed,
+        "mixed": bool(rng.random() < 0.85),
+        "triple_fraction": float(rng.choice([0.0, 0.1, 0.25])),
+        "blockage_fraction": float(rng.choice([0.0, 0.0, 0.15, 0.35])),
+    }
+
+
+def _core_knobs(rng: np.random.Generator) -> Dict[str, Any]:
+    return {
+        "num_rows": int(rng.integers(2, 9)),
+        "num_sites": int(rng.integers(24, 90)),
+        "site_width": float(rng.choice([1.0, 1.0, 0.75, 2.0])),
+        "row_height": float(rng.choice([9.0, 9.0, 12.0, 1.8])),
+        "xl": float(rng.choice([0.0, 0.0, 13.7, -7.25])),
+        "yl": float(rng.choice([0.0, 0.0, 27.0, -18.0])),
+        "rail0": str(rng.choice(["VSS", "VDD"])),
+    }
+
+
+def _knobs_adversarial(rng: np.random.Generator, sub_seed: int) -> Dict[str, Any]:
+    knobs = _core_knobs(rng)
+    off_grid = bool(rng.random() < 0.35)
+    knobs.update(
+        sub_seed=sub_seed,
+        density=float(rng.uniform(0.35, 0.55 if off_grid else 0.72)),
+        max_cells=int(rng.integers(20, 60)),
+        dup_clusters=int(rng.integers(0, 4)),
+        n_fixed=int(rng.integers(0, 5)),
+        offgrid_fixed=off_grid,
+        outside_fixed=bool(rng.random() < 0.25),
+        gp_sigma_sites=float(rng.uniform(0.3, 4.0)),
+        gp_sigma_rows=float(rng.uniform(0.05, 1.2)),
+    )
+    return knobs
+
+
+def _knobs_single_row(rng: np.random.Generator, sub_seed: int) -> Dict[str, Any]:
+    knobs = _knobs_adversarial(rng, sub_seed)
+    knobs.update(
+        num_rows=1,
+        num_sites=int(rng.integers(8, 48)),
+        density=float(rng.uniform(0.4, 0.8)),
+        n_fixed=int(rng.integers(0, 2)),
+        offgrid_fixed=False,
+        outside_fixed=False,
+    )
+    return knobs
+
+
+def _knobs_tiny_sites(rng: np.random.Generator, sub_seed: int) -> Dict[str, Any]:
+    knobs = _knobs_adversarial(rng, sub_seed)
+    knobs.update(
+        site_width=1e-3,
+        row_height=9e-3,
+        offgrid_fixed=False,
+        outside_fixed=False,
+        xl=float(rng.choice([0.0, 13.7])),
+        yl=float(rng.choice([0.0, 27.0])),
+    )
+    return knobs
+
+
+def _knobs_extreme_origin(rng: np.random.Generator, sub_seed: int) -> Dict[str, Any]:
+    knobs = _knobs_adversarial(rng, sub_seed)
+    knobs.update(
+        site_width=float(rng.choice([1e-3, 1.0])),
+        row_height=float(rng.choice([9e-3, 9.0])),
+        xl=float(1e8 + rng.integers(0, 1000)),
+        yl=float(5e7 + rng.integers(0, 1000)),
+        offgrid_fixed=False,
+        outside_fixed=False,
+        dup_clusters=0,
+    )
+    return knobs
+
+
+def _knobs_infeasible(rng: np.random.Generator, sub_seed: int) -> Dict[str, Any]:
+    knobs = _core_knobs(rng)
+    knobs.update(
+        sub_seed=sub_seed,
+        num_rows=int(rng.integers(1, 4)),
+        variant=str(rng.choice(["too_tall", "rail_locked"])),
+        n_filler=int(rng.integers(2, 8)),
+    )
+    if knobs["variant"] == "rail_locked":
+        knobs["num_rows"] = 2
+    return knobs
+
+
+_KNOB_SAMPLERS = {
+    "benchgen": _knobs_benchgen,
+    "adversarial": _knobs_adversarial,
+    "single_row": _knobs_single_row,
+    "tiny_sites": _knobs_tiny_sites,
+    "extreme_origin": _knobs_extreme_origin,
+    "infeasible": _knobs_infeasible,
+}
+
+
+# ----------------------------------------------------------------------
+# Builders (knob dicts -> Design; deterministic in knobs["sub_seed"])
+# ----------------------------------------------------------------------
+def _build_benchgen(knobs: Dict[str, Any]) -> Design:
+    return generate_benchmark(
+        knobs["profile"],
+        scale=knobs["scale"],
+        seed=knobs["gen_seed"],
+        mixed=knobs["mixed"],
+        triple_fraction=knobs["triple_fraction"],
+        blockage_fraction=knobs["blockage_fraction"],
+    )
+
+
+def _make_core(knobs: Dict[str, Any]) -> CoreArea:
+    return CoreArea(
+        xl=knobs["xl"],
+        yl=knobs["yl"],
+        num_rows=knobs["num_rows"],
+        row_height=knobs["row_height"],
+        num_sites=knobs["num_sites"],
+        site_width=knobs["site_width"],
+        rails=RailScheme(RailType(knobs["rail0"])),
+    )
+
+
+def _pack_cells(
+    design: Design, rng: np.random.Generator, knobs: Dict[str, Any]
+) -> List[Any]:
+    """Greedy legal packing: guarantees the instance is feasible.
+
+    Multi-row cells keep one x across their rows by advancing every
+    occupied row's cursor to a shared frontier, so the hidden packing has
+    no overlaps by construction.
+    """
+    core = design.core
+    cursors = [0.0] * core.num_rows  # x frontier per row, relative to xl
+    capacity = core.num_rows * core.num_sites * core.site_width * core.row_height
+    target_area = knobs["density"] * capacity
+    heights = [h for h in (1, 2, 3, 4) if h <= core.num_rows]
+    weights = np.array([0.6, 0.22, 0.12, 0.06][: len(heights)])
+    weights = weights / weights.sum()
+    placed = []
+    area = 0.0
+    misses = 0
+    while area < target_area and len(placed) < knobs["max_cells"] and misses < 30:
+        h = int(rng.choice(heights, p=weights))
+        w_sites = int(rng.integers(1, max(2, core.num_sites // 6) + 1))
+        width = w_sites * core.site_width
+        fit_rows = list(range(core.num_rows - h + 1))
+        rail = None
+        if h % 2 == 0:
+            # Pick the rail from a row that actually exists in the fit
+            # range so the even-height cell is feasible by construction.
+            row = int(rng.choice(fit_rows))
+            rail = core.rails.bottom_rail(row)
+            fit_rows = [r for r in fit_rows if core.rails.bottom_rail(r) == rail]
+        row = int(rng.choice(fit_rows))
+        x_rel = max(cursors[row : row + h])
+        if x_rel + width > core.num_sites * core.site_width:
+            misses += 1
+            continue
+        for r in range(row, row + h):
+            cursors[r] = x_rel + width
+        rail_tag = f"_{rail.value}" if rail is not None else ""
+        master = CellMaster(
+            name=f"m_w{w_sites}_h{h}{rail_tag}",
+            width=width,
+            height_rows=h,
+            bottom_rail=rail,
+        )
+        lx = core.xl + x_rel
+        ly = core.row_y(row)
+        cell = design.add_cell(f"c{len(placed)}", master, lx, ly)
+        placed.append(cell)
+        area += width * h * core.row_height
+    return placed
+
+
+def _build_adversarial(knobs: Dict[str, Any]) -> Design:
+    rng = np.random.default_rng(knobs["sub_seed"])
+    core = _make_core(knobs)
+    design = Design(name=f"fuzz_{knobs['sub_seed']}", core=core)
+    placed = _pack_cells(design, rng, knobs)
+    if not placed:  # degenerate core: keep one guaranteed-fit cell
+        master = CellMaster(name="m_w1_h1", width=core.site_width, height_rows=1)
+        placed = [design.add_cell("c0", master, core.xl, core.yl)]
+
+    # Fixed obstacles first (their positions are final), then GP noise.
+    n_fixed = min(knobs["n_fixed"], max(len(placed) - 2, 0))
+    fixed = list(rng.choice(len(placed), size=n_fixed, replace=False)) if n_fixed else []
+    for idx in fixed:
+        placed[idx].fixed = True
+    if fixed and knobs.get("offgrid_fixed"):
+        cell = placed[fixed[0]]
+        cell.gp_x = cell.x = cell.x + 0.37 * core.site_width
+        cell.gp_y = cell.y = cell.y + 0.21 * core.row_height
+    if fixed and knobs.get("outside_fixed"):
+        cell = placed[fixed[-1]]
+        cell.gp_x = cell.x = core.xh - 0.5 * cell.width
+        cell.gp_y = cell.y = core.yl - 0.4 * cell.height(core.row_height)
+
+    sx = knobs["gp_sigma_sites"] * core.site_width
+    sy = knobs["gp_sigma_rows"] * core.row_height
+    for cell in placed:
+        if cell.fixed:
+            continue
+        cell.gp_x = cell.x = cell.x + rng.normal(0.0, sx)
+        cell.gp_y = cell.y = cell.y + rng.normal(0.0, sy)
+
+    # Duplicate-GP clusters: several movable cells share one exact point.
+    movable = [c for c in placed if not c.fixed]
+    for _ in range(knobs["dup_clusters"]):
+        if len(movable) < 2:
+            break
+        k = int(rng.integers(2, min(4, len(movable)) + 1))
+        members = rng.choice(len(movable), size=k, replace=False)
+        anchor = movable[int(members[0])]
+        for m in members[1:]:
+            movable[int(m)].gp_x = movable[int(m)].x = anchor.gp_x
+            movable[int(m)].gp_y = movable[int(m)].y = anchor.gp_y
+    return design
+
+
+def _build_infeasible(knobs: Dict[str, Any]) -> Design:
+    rng = np.random.default_rng(knobs["sub_seed"])
+    core = _make_core(knobs)
+    design = Design(name=f"fuzz_inf_{knobs['sub_seed']}", core=core)
+    filler = CellMaster(name="m_w2_h1", width=2 * core.site_width, height_rows=1)
+    for i in range(knobs["n_filler"]):
+        x = core.xl + float(rng.uniform(0, core.width - filler.width))
+        y = core.yl + float(rng.uniform(0, core.height - core.row_height))
+        design.add_cell(f"f{i}", filler, x, y)
+    if knobs["variant"] == "too_tall":
+        h = core.num_rows + 1
+        bad = CellMaster(
+            name=f"bad_h{h}",
+            width=2 * core.site_width,
+            height_rows=h,
+            bottom_rail=RailType.VSS if h % 2 == 0 else None,
+        )
+    else:  # rail_locked: 2-row cell in a 2-row core, only row 0 fits
+        wrong = core.rails.bottom_rail(0).opposite()
+        bad = CellMaster(
+            name="bad_rail", width=2 * core.site_width, height_rows=2,
+            bottom_rail=wrong,
+        )
+    design.add_cell("bad", bad, core.xl + core.width / 2, core.yl)
+    return design
+
+
+_BUILDERS = {
+    "benchgen": _build_benchgen,
+    "adversarial": _build_adversarial,
+    "single_row": _build_adversarial,
+    "tiny_sites": _build_adversarial,
+    "extreme_origin": _build_adversarial,
+    "infeasible": _build_infeasible,
+}
+
+
+# ----------------------------------------------------------------------
+# Metamorphic transforms
+# ----------------------------------------------------------------------
+def translate_design(design: Design, dx_sites: int, dy_rows: int) -> Design:
+    """A copy of *design* shifted by whole sites/rows.
+
+    Row indices (and therefore rail parity) are preserved, so legalizing
+    the translation must land every cell on the same site/row indices as
+    the original — the fuzzer's translation-invariance oracle.
+    """
+    core = design.core
+    dx = dx_sites * core.site_width
+    dy = dy_rows * core.row_height
+    new_core = CoreArea(
+        xl=core.xl + dx,
+        yl=core.yl + dy,
+        num_rows=core.num_rows,
+        row_height=core.row_height,
+        num_sites=core.num_sites,
+        site_width=core.site_width,
+        rails=core.rails,
+    )
+    out = Design(name=f"{design.name}_t", core=new_core)
+    for cell in design.cells:
+        new = out.add_cell(
+            cell.name, cell.master, cell.gp_x + dx, cell.gp_y + dy,
+            fixed=cell.fixed,
+        )
+        new.x = cell.x + dx
+        new.y = cell.y + dy
+    return out
+
+
+def relegalization_input(design: Design) -> Design:
+    """A copy whose GP *is* the current (legal) placement.
+
+    Legalizing it must be the identity — the fuzzer's idempotence oracle.
+    """
+    out = Design(name=f"{design.name}_i", core=design.core)
+    for cell in design.cells:
+        new = out.add_cell(cell.name, cell.master, cell.x, cell.y, fixed=cell.fixed)
+        new.x = cell.x
+        new.y = cell.y
+    return out

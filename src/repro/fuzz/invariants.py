@@ -1,0 +1,119 @@
+"""Invariant vocabulary and primitive checks shared by oracle and shrinker.
+
+Every failure the fuzzer can report carries one of the :data:`INVARIANTS`
+names; the shrinker minimizes against *the same named invariant* so a
+reduction cannot silently morph one bug into another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.legality.violations import LegalityReport, Violation, ViolationKind
+from repro.netlist.design import Design
+
+#: Everything the oracle can flag.
+INVARIANTS = (
+    "crash",                    # a solver configuration raised unexpectedly
+    "expected_infeasible",      # infeasible design not rejected (or rejected
+    #                             without the structured error / cell name)
+    "unexpected_infeasible",    # feasible design rejected as infeasible
+    "bit_identity",             # a bit-identity-promised config diverged
+    "legality",                 # post-flow audit found movable-cell violations
+    "kkt_residual",             # converged run's z fails the KKT certificate
+    "qp_feasibility",           # QP-stage solution violates order/boundary rows
+    "reference",                # objective/solution diverges from exact QP oracle
+    "solver_agreement",         # tolerance-group config too far from baseline
+    "displacement_accounting",  # reported displacement != recomputed
+    "translation",              # shifted core legalizes to different sites/rows
+    "idempotence",              # legalizing a legal placement moved cells
+    "roundtrip",                # Bookshelf write -> read -> legalize differs
+    "warm_start",               # fresh same-design state rejected or divergent
+    "stale_state",              # stale state not rejected / perturbed the run
+)
+
+
+@dataclass
+class InvariantFailure:
+    """One violated invariant, attributable to a config and a scenario."""
+
+    invariant: str
+    config: Optional[str]
+    details: str
+
+    def __post_init__(self) -> None:
+        if self.invariant not in INVARIANTS:
+            raise ValueError(f"unknown invariant {self.invariant!r}")
+
+    def describe(self) -> str:
+        where = f" [{self.config}]" if self.config else ""
+        return f"{self.invariant}{where}: {self.details}"
+
+
+@dataclass
+class CaseReport:
+    """Everything the oracle concluded about one scenario."""
+
+    seed: int
+    kind: str
+    num_cells: int
+    failures: List[InvariantFailure] = field(default_factory=list)
+    infeasible: bool = False
+    configs_run: List[str] = field(default_factory=list)
+    #: Side-channel for the harness (e.g. the baseline's SolverState,
+    #: threaded into the next case as a deliberately stale warm start).
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def add(self, invariant: str, config: Optional[str], details: str) -> None:
+        self.failures.append(InvariantFailure(invariant, config, details))
+
+    def invariant_names(self) -> List[str]:
+        return sorted({f.invariant for f in self.failures})
+
+
+# ----------------------------------------------------------------------
+# Primitive checks
+# ----------------------------------------------------------------------
+def movable_violations(report: LegalityReport, design: Design) -> List[Violation]:
+    """Audit violations chargeable to the *flow* rather than the input.
+
+    Adversarial scenarios place fixed obstacles off the site grid or
+    partially outside the core on purpose; the independent checker reports
+    those input artifacts, but the legalizer is only on the hook for its
+    movable cells — and for any overlap that involves one.
+    """
+    out = []
+    for v in report.violations:
+        if v.kind is ViolationKind.OVERLAP:
+            a_fixed = design.cells[v.cell_id].fixed
+            b_fixed = design.cells[v.other_id].fixed if v.other_id is not None else True
+            if a_fixed and b_fixed:
+                continue
+        elif design.cells[v.cell_id].fixed:
+            continue
+        out.append(v)
+    return out
+
+
+def snapshot_arrays(design: Design):
+    """(x, y, flipped, site_idx, row_idx) arrays for differential compares."""
+    core = design.core
+    x = np.array([c.x for c in design.cells])
+    y = np.array([c.y for c in design.cells])
+    flipped = np.array([c.flipped for c in design.cells], dtype=bool)
+    site_idx = np.rint((x - core.xl) / core.site_width).astype(np.int64)
+    row_idx = np.rint((y - core.yl) / core.row_height).astype(np.int64)
+    return x, y, flipped, site_idx, row_idx
+
+
+def summarize_mismatch(a: np.ndarray, b: np.ndarray, label: str) -> str:
+    diff = np.abs(np.asarray(a, dtype=float) - np.asarray(b, dtype=float))
+    n_bad = int(np.count_nonzero(diff))
+    return f"{label}: {n_bad} mismatched entries, max |diff| = {diff.max():.3g}"

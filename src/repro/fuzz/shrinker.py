@@ -1,0 +1,166 @@
+"""Greedy failure minimization (ddmin over cells, then geometry trims).
+
+Given a failing design and a predicate ("does this reduced design still
+violate the *same* invariant?"), the shrinker repeatedly removes cell
+subsets, then shaves unused rows and sites off the core, keeping every
+reduction that preserves the failure.  The result is the small Bookshelf
+repro the corpus stores — typically a handful of cells instead of dozens.
+
+The predicate is re-run on every candidate, so a reduction can never
+silently morph one bug into a different one: candidates that fail for a
+*different* reason are rejected by the invariant-filtered oracle.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.netlist.design import Design
+from repro.rows.core_area import CoreArea
+from repro.telemetry import current_session
+
+Predicate = Callable[[Design], bool]
+
+
+@dataclass
+class ShrinkResult:
+    design: Design
+    original_cells: int
+    evals: int = 0
+    steps: List[str] = field(default_factory=list)
+
+    @property
+    def num_cells(self) -> int:
+        return self.design.num_cells
+
+
+def subset_design(design: Design, keep: Sequence[int]) -> Design:
+    """A copy containing only the cells at the given indices (in order)."""
+    keep_set = set(keep)
+    out = Design(name=design.name, core=design.core)
+    for idx, cell in enumerate(design.cells):
+        if idx not in keep_set:
+            continue
+        new = out.add_cell(
+            cell.name, cell.master, cell.gp_x, cell.gp_y, fixed=cell.fixed
+        )
+        new.x = cell.x
+        new.y = cell.y
+    return out
+
+
+def _trim_core(design: Design) -> Optional[Design]:
+    """Shrink the core to the cells' bounding extent (top rows, right sites).
+
+    Trimming from the top and the right only, so row indices — and with
+    them the rail parity every even-height cell depends on — never change.
+    """
+    core = design.core
+    if not design.cells:
+        return None
+    max_row = 1
+    max_site = 1
+    for cell in design.cells:
+        y_top = max(cell.gp_y, cell.y) + cell.height(core.row_height)
+        x_right = max(cell.gp_x, cell.x) + cell.width
+        max_row = max(max_row, int(math.ceil((y_top - core.yl) / core.row_height)))
+        max_site = max(
+            max_site, int(math.ceil((x_right - core.xl) / core.site_width))
+        )
+    num_rows = min(core.num_rows, max_row + 1)
+    num_sites = min(core.num_sites, max_site + 2)
+    if num_rows == core.num_rows and num_sites == core.num_sites:
+        return None
+    new_core = CoreArea(
+        xl=core.xl,
+        yl=core.yl,
+        num_rows=num_rows,
+        row_height=core.row_height,
+        num_sites=num_sites,
+        site_width=core.site_width,
+        rails=core.rails,
+    )
+    out = Design(name=design.name, core=new_core)
+    for cell in design.cells:
+        new = out.add_cell(
+            cell.name, cell.master, cell.gp_x, cell.gp_y, fixed=cell.fixed
+        )
+        new.x = cell.x
+        new.y = cell.y
+    return out
+
+
+def shrink_design(
+    design: Design,
+    predicate: Predicate,
+    max_evals: int = 150,
+    time_budget: Optional[float] = None,
+) -> ShrinkResult:
+    """ddmin-style minimization of a failing design.
+
+    ``predicate(candidate)`` must return True while the candidate still
+    reproduces the original failure.  The input design is never mutated.
+    """
+    metrics = current_session().metrics
+    deadline = time.monotonic() + time_budget if time_budget else None
+    state = ShrinkResult(design=design, original_cells=design.num_cells)
+
+    def budget_left() -> bool:
+        if state.evals >= max_evals:
+            return False
+        return deadline is None or time.monotonic() < deadline
+
+    def check(candidate: Design) -> bool:
+        state.evals += 1
+        metrics.counter("fuzz.shrink_evals").inc()
+        try:
+            return bool(predicate(candidate))
+        except Exception:  # noqa: BLE001 — a crash is "failure changed"
+            return False
+
+    current = design
+    ids = list(range(len(current.cells)))
+    chunks = 2
+    while chunks <= len(ids) and budget_left():
+        chunk_size = max(1, len(ids) // chunks)
+        reduced = False
+        for start in range(0, len(ids), chunk_size):
+            if not budget_left():
+                break
+            complement = ids[:start] + ids[start + chunk_size:]
+            if not complement or not any(
+                not current.cells[i].fixed for i in complement
+            ):
+                continue
+            candidate = subset_design(current, complement)
+            if check(candidate):
+                # Re-index: the subset renumbered the surviving cells.
+                current = candidate
+                ids = list(range(len(current.cells)))
+                chunks = max(chunks - 1, 2)
+                state.steps.append(f"dropped {chunk_size} cell(s)")
+                reduced = True
+                break
+        if not reduced:
+            if chunks >= len(ids):
+                break
+            chunks = min(chunks * 2, len(ids))
+
+    while budget_left():
+        trimmed = _trim_core(current)
+        if trimmed is None:
+            break
+        if check(trimmed):
+            state.steps.append(
+                f"trimmed core to {trimmed.core.num_rows} rows x "
+                f"{trimmed.core.num_sites} sites"
+            )
+            current = trimmed
+        else:
+            break
+
+    state.design = current
+    return state

@@ -133,6 +133,34 @@ class IntervalSet:
             self._los.insert(i, ilo)
             self._his.insert(i, lo)
 
+    def subtract(self, lo: float, hi: float) -> None:
+        """Remove the free parts of ``[lo, hi)``; occupied parts are ignored.
+
+        Unlike :meth:`occupy`, the span need not be fully free: it is
+        clipped against every free interval it intersects.  Obstacle
+        blocking uses this — two overlapping fixed cells (or a fixed cell
+        overlapping a previously blocked region) are legal *inputs*, and
+        blocking their union must not fault.
+        """
+        if hi <= lo:
+            return
+        i = max(bisect.bisect_right(self._los, lo) - 1, 0)
+        while i < len(self._los) and self._los[i] < hi:
+            ilo, ihi = self._los[i], self._his[i]
+            if ihi <= lo:
+                i += 1
+                continue
+            clip_lo, clip_hi = max(ilo, lo), min(ihi, hi)
+            del self._los[i]
+            del self._his[i]
+            if clip_hi < ihi:
+                self._los.insert(i, clip_hi)
+                self._his.insert(i, ihi)
+            if ilo < clip_lo:
+                self._los.insert(i, ilo)
+                self._his.insert(i, clip_lo)
+                i += 1
+
     def release(self, lo: float, hi: float) -> None:
         """Add ``[lo, hi)`` back to the set, merging with neighbours.
 

@@ -16,6 +16,18 @@ from repro.io.bookshelf.format import AUX_KEY, write_header
 from repro.netlist.design import Design
 
 
+def _num(value: float) -> str:
+    """Shortest decimal string that round-trips the float64 exactly.
+
+    Positions, widths, and row geometry must survive write -> read
+    *bitwise* — the fuzz corpus replays Bookshelf repros and asserts
+    bit-identical legalization, and a ``%.6f``-style truncation perturbs
+    every GP coordinate by ~1e-7.  ``repr`` of a Python float is the
+    shortest string that parses back to the same bits.
+    """
+    return repr(float(value))
+
+
 def write_design(
     design: Design, directory: str, basename: str = None, use_gp: bool = False
 ) -> str:
@@ -51,7 +63,9 @@ def _write_nodes(design: Design, path: str) -> None:
         for cell in design.cells:
             height = cell.height_rows * row_h
             terminal = " terminal" if cell.fixed else ""
-            fh.write(f"\t{cell.name}\t{cell.width:g}\t{height:g}{terminal}\n")
+            fh.write(
+                f"\t{cell.name}\t{_num(cell.width)}\t{_num(height)}{terminal}\n"
+            )
 
 
 def _write_pl(design: Design, path: str, use_gp: bool) -> None:
@@ -62,7 +76,7 @@ def _write_pl(design: Design, path: str, use_gp: bool) -> None:
             y = cell.gp_y if use_gp else cell.y
             orient = "FS" if cell.flipped else "N"
             fixed = " /FIXED" if cell.fixed else ""
-            fh.write(f"{cell.name}\t{x:.6f}\t{y:.6f}\t: {orient}{fixed}\n")
+            fh.write(f"{cell.name}\t{_num(x)}\t{_num(y)}\t: {orient}{fixed}\n")
 
 
 def _write_scl(design: Design, path: str) -> None:
@@ -72,13 +86,15 @@ def _write_scl(design: Design, path: str) -> None:
         fh.write(f"NumRows : {core.num_rows}\n\n")
         for r in range(core.num_rows):
             fh.write("CoreRow Horizontal\n")
-            fh.write(f"  Coordinate    : {core.row_y(r):g}\n")
-            fh.write(f"  Height        : {core.row_height:g}\n")
-            fh.write(f"  Sitewidth     : {core.site_width:g}\n")
-            fh.write(f"  Sitespacing   : {core.site_width:g}\n")
+            fh.write(f"  Coordinate    : {_num(core.row_y(r))}\n")
+            fh.write(f"  Height        : {_num(core.row_height)}\n")
+            fh.write(f"  Sitewidth     : {_num(core.site_width)}\n")
+            fh.write(f"  Sitespacing   : {_num(core.site_width)}\n")
             fh.write("  Siteorient    : 1\n")
             fh.write("  Sitesymmetry  : 1\n")
-            fh.write(f"  SubrowOrigin  : {core.xl:g}  NumSites : {core.num_sites}\n")
+            fh.write(
+                f"  SubrowOrigin  : {_num(core.xl)}  NumSites : {core.num_sites}\n"
+            )
             fh.write("End\n")
 
 
@@ -93,7 +109,7 @@ def _write_nets(design: Design, path: str) -> None:
             for pin in net.pins:
                 owner = pin.cell.name if pin.cell is not None else "FIXED"
                 fh.write(
-                    f"\t{owner} B : {pin.offset_x:.6f} {pin.offset_y:.6f}\n"
+                    f"\t{owner} B : {_num(pin.offset_x)} {_num(pin.offset_y)}\n"
                 )
 
 

@@ -1,11 +1,18 @@
 """Independent legality checking for placements."""
 
-from repro.legality.checker import assert_legal, check_legality
+from repro.legality.checker import (
+    assert_legal,
+    check_legality,
+    row_tolerance,
+    site_tolerance,
+)
 from repro.legality.violations import LegalityReport, Violation, ViolationKind
 
 __all__ = [
     "check_legality",
     "assert_legal",
+    "site_tolerance",
+    "row_tolerance",
     "LegalityReport",
     "Violation",
     "ViolationKind",

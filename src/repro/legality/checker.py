@@ -16,15 +16,41 @@ hide from the checker.
 
 from __future__ import annotations
 
+import sys
 from typing import Dict, List, Tuple
 
 from repro.geometry import is_on_grid
 from repro.legality.violations import LegalityReport, Violation, ViolationKind
 from repro.netlist.cell import CellInstance
 from repro.netlist.design import Design
+from repro.rows.core_area import CoreArea
 
 #: Absolute snap tolerance, as a fraction of site width / row height.
 GRID_TOL = 1e-6
+
+_EPS = sys.float_info.epsilon
+
+
+def site_tolerance(core: CoreArea) -> float:
+    """Absolute x tolerance for boundary/grid checks, in database units.
+
+    ``GRID_TOL`` sites, floored by the float64 resolution at the core's
+    coordinate scale: a position assembled as ``origin + k * pitch`` at a
+    large origin carries a rounding error up to ``ulp(origin)/2``, so with
+    a tiny site width a fixed fraction-of-a-site tolerance flags the
+    flow's *own* legal output (e.g. ``x = core.xh - width`` from the
+    relaxed-boundary clamp) as off-site or out-of-core.  Every boundary
+    comparison in this module uses this one epsilon so the checker and the
+    post-flow resilience audit cannot disagree.
+    """
+    scale = max(abs(core.xl), abs(core.xh), core.site_width)
+    return max(GRID_TOL * core.site_width, 8.0 * _EPS * scale)
+
+
+def row_tolerance(core: CoreArea) -> float:
+    """Absolute y tolerance for boundary/grid checks (see ``site_tolerance``)."""
+    scale = max(abs(core.yl), abs(core.yh), core.row_height)
+    return max(GRID_TOL * core.row_height, 8.0 * _EPS * scale)
 
 
 def check_legality(design: Design, check_sites: bool = True) -> LegalityReport:
@@ -52,12 +78,10 @@ def _check_core_containment(
 ) -> None:
     core = design.core
     rect = cell.rect(core.row_height)
-    excess = 0.0
-    excess = max(excess, core.xl - rect.xl)
-    excess = max(excess, rect.xh - core.xh)
-    excess = max(excess, core.yl - rect.yl)
-    excess = max(excess, rect.yh - core.yh)
-    if excess > GRID_TOL * core.site_width:
+    excess_x = max(core.xl - rect.xl, rect.xh - core.xh, 0.0)
+    excess_y = max(core.yl - rect.yl, rect.yh - core.yh, 0.0)
+    excess = max(excess_x, excess_y)
+    if excess_x > site_tolerance(core) or excess_y > row_tolerance(core):
         report.add(
             Violation(
                 kind=ViolationKind.OUT_OF_CORE,
@@ -72,7 +96,12 @@ def _check_alignment(
     cell: CellInstance, design: Design, report: LegalityReport, check_sites: bool
 ) -> None:
     core = design.core
-    if check_sites and not is_on_grid(cell.x, core.xl, core.site_width, GRID_TOL):
+    # is_on_grid takes its tolerance in pitch units; derive it from the
+    # scale-aware absolute tolerance so huge-origin cores don't flag the
+    # float rounding of origin + k*pitch as an off-grid placement.
+    tol_sites = site_tolerance(core) / core.site_width
+    tol_rows = row_tolerance(core) / core.row_height
+    if check_sites and not is_on_grid(cell.x, core.xl, core.site_width, tol_sites):
         off = abs(cell.x - core.snap_x(cell.x))
         report.add(
             Violation(
@@ -82,7 +111,7 @@ def _check_alignment(
                 message=f"cell {cell.name} x={cell.x:g} off the site grid",
             )
         )
-    if not is_on_grid(cell.y, core.yl, core.row_height, GRID_TOL):
+    if not is_on_grid(cell.y, core.yl, core.row_height, tol_rows):
         report.add(
             Violation(
                 kind=ViolationKind.OFF_ROW,
@@ -95,7 +124,8 @@ def _check_alignment(
 
 def _check_rails(cell: CellInstance, design: Design, report: LegalityReport) -> None:
     core = design.core
-    if not is_on_grid(cell.y, core.yl, core.row_height, GRID_TOL):
+    tol_rows = row_tolerance(core) / core.row_height
+    if not is_on_grid(cell.y, core.yl, core.row_height, tol_rows):
         return  # off-row already reported; rail check needs a row index
     row = core.row_of_y(cell.y)
     if cell.master.is_even_height and not core.rails.row_is_correct(cell.master, row):
@@ -116,22 +146,23 @@ def _check_rails(cell: CellInstance, design: Design, report: LegalityReport) -> 
 def _check_overlaps(design: Design, report: LegalityReport) -> None:
     """Row-bucketed interval sweep: O(n log n) per row."""
     core = design.core
+    tol_rows = row_tolerance(core) / core.row_height
     buckets: Dict[int, List[Tuple[float, float, int]]] = {}
     for cell in design.cells:
         # Every row the cell's body intersects, computed geometrically so the
         # sweep works even for off-row (mid-legalization) placements.
         y_lo = cell.y
         y_hi = cell.y + cell.height(core.row_height)
-        row_lo = max(0, int((y_lo - core.yl) / core.row_height + GRID_TOL))
+        row_lo = max(0, int((y_lo - core.yl) / core.row_height + tol_rows))
         row_hi = min(
             core.num_rows - 1,
-            int((y_hi - core.yl) / core.row_height - GRID_TOL),
+            int((y_hi - core.yl) / core.row_height - tol_rows),
         )
         for row in range(row_lo, row_hi + 1):
             buckets.setdefault(row, []).append((cell.x, cell.x + cell.width, cell.id))
 
     seen_pairs = set()
-    tol = GRID_TOL * core.site_width
+    tol = site_tolerance(core)
     for row, spans in buckets.items():
         spans.sort()
         for (xl0, xh0, id0), (xl1, xh1, id1) in zip(spans, spans[1:]):

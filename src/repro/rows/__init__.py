@@ -1,7 +1,7 @@
 """Row structure: core area, power-rail scheme, and free-site tracking."""
 
-from repro.rows.core_area import CoreArea
+from repro.rows.core_area import CoreArea, InfeasibleAssignment
 from repro.rows.power import RailScheme
 from repro.rows.sitemap import SiteMap
 
-__all__ = ["CoreArea", "RailScheme", "SiteMap"]
+__all__ = ["CoreArea", "InfeasibleAssignment", "RailScheme", "SiteMap"]

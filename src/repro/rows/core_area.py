@@ -16,6 +16,53 @@ from repro.netlist.cell import CellMaster, RailType
 from repro.rows.power import RailScheme
 
 
+class InfeasibleAssignment(ValueError):
+    """No legal row exists for a cell in this core.
+
+    Raised by :meth:`CoreArea.nearest_correct_row` when the design is
+    structurally infeasible — the master is taller than the core, or it is
+    an even-row-height master and no rail-matching row lies in its vertical
+    fit range (e.g. a 2-row cell in a 2-row core whose single legal bottom
+    row has the wrong rail).  Subclasses :class:`ValueError` so existing
+    callers that caught the old unstructured error keep working.
+
+    Attributes carry the structured context: ``master_name``,
+    ``height_rows``, ``num_rows``, ``bottom_rail`` (or None), and
+    ``cell_name`` once :func:`repro.core.row_assign.assign_rows` has
+    attached the offending instance.
+    """
+
+    def __init__(
+        self,
+        master_name: str,
+        height_rows: int,
+        num_rows: int,
+        bottom_rail=None,
+        cell_name=None,
+    ) -> None:
+        self.master_name = master_name
+        self.height_rows = height_rows
+        self.num_rows = num_rows
+        self.bottom_rail = bottom_rail
+        self.cell_name = cell_name
+        rail = f", bottom rail {bottom_rail.value}" if bottom_rail is not None else ""
+        prefix = f"cell {cell_name!r}: " if cell_name is not None else ""
+        super().__init__(
+            f"{prefix}no legal row for master {master_name!r} "
+            f"(height {height_rows} rows{rail}) in a {num_rows}-row core"
+        )
+
+    def for_cell(self, cell_name: str) -> "InfeasibleAssignment":
+        """A copy of this error naming the offending cell instance."""
+        return InfeasibleAssignment(
+            self.master_name,
+            self.height_rows,
+            self.num_rows,
+            bottom_rail=self.bottom_rail,
+            cell_name=cell_name,
+        )
+
+
 @dataclass(frozen=True)
 class CoreArea:
     """Core region with uniform rows.
@@ -110,14 +157,21 @@ class CoreArea:
         return self.rails.row_is_correct(master, row_index)
 
     def nearest_correct_row(self, master: CellMaster, y: float) -> int:
-        """Nearest legal bottom row for a cell whose GP bottom y is *y*."""
+        """Nearest legal bottom row for a cell whose GP bottom y is *y*.
+
+        Raises :class:`InfeasibleAssignment` when no legal row exists at
+        all — the cell is taller than the core, or it is even-height and no
+        rail-matching row lies within its vertical fit range.
+        """
         row = self.rails.nearest_correct_row(
             master, y, self.yl, self.row_height, self.num_rows
         )
         if row is None:
-            raise ValueError(
-                f"no legal row for master {master.name!r} "
-                f"(height {master.height_rows} rows) in a {self.num_rows}-row core"
+            raise InfeasibleAssignment(
+                master.name,
+                master.height_rows,
+                self.num_rows,
+                bottom_rail=master.bottom_rail if master.is_even_height else None,
             )
         return row
 

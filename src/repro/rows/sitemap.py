@@ -55,6 +55,14 @@ class SiteMap:
     def release(self, row: int, site_lo: int, num_sites: int) -> None:
         self._rows[row].release(float(site_lo), float(site_lo + num_sites))
 
+    def block(self, row: int, site_lo: int, num_sites: int) -> None:
+        """Mark sites used, tolerating overlap with already-used sites.
+
+        For fixed-obstacle blocking: overlapping fixed cells are a legal
+        input, so blocking is a union operation, not an exclusive claim.
+        """
+        self._rows[row].subtract(float(site_lo), float(site_lo + num_sites))
+
     def occupy_cell(self, cell: CellInstance, row: int, site_lo: int) -> None:
         """Occupy the footprint of *cell* with bottom row *row*."""
         n = self.sites_of_width(cell.width)
