@@ -12,7 +12,11 @@ Subcommands
 ``bench``    regenerate one of the paper's experiments (table1/table2/sec53)
 ``trace``    work with recorded traces: ``trace summarize out.jsonl``
              prints the per-stage / per-solver breakdown,
-             ``trace summarize out.jsonl --chrome out.json`` converts
+             ``trace summarize out.jsonl --chrome out.json`` converts,
+             ``--prometheus -`` emits the metrics in Prometheus text
+``serve``    run the legalization service (async HTTP front end, keyed
+             warm-state store, cross-request batched solves)
+``submit``   send a design file to a running ``repro serve`` process
 
 Design files are Bookshelf ``.aux`` suites or this package's ``.json``
 format (chosen by extension).
@@ -144,6 +148,19 @@ def cmd_legalize(args: argparse.Namespace) -> int:
         print(f"wrote solver state to {state_path}")
 
     print(result.summary())
+    # Make the warm-start decision explicit: a silently discarded --state
+    # file looks identical to a cold run in the metrics, so say why.
+    warm_start = getattr(result, "warm_start", None)
+    if warm_start is not None and args.algorithm == "mmsim":
+        if getattr(result, "warm_start_rejected", None):
+            print(
+                f"warm start: cold ({warm_start}) — state rejected: "
+                f"{result.warm_start_rejected}"
+            )
+        elif warm_start == "state":
+            print("warm start: warm (persisted solver state accepted)")
+        elif state_path:
+            print(f"warm start: cold ({warm_start})")
     # The MMSIM flow audits itself (mandatory post-flow check_legality);
     # other algorithms are audited here so no path can report success on
     # an illegal placement.
@@ -200,12 +217,85 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
     if args.trace_command == "summarize":
         data = telemetry.read_jsonl(args.input)
-        print(telemetry.summarize(data))
+        if args.prometheus is not None:
+            text = telemetry.prometheus_text(data)
+            if args.prometheus == "-":
+                print(text, end="")
+            else:
+                with open(args.prometheus, "w") as fh:
+                    fh.write(text)
+                print(f"wrote {args.prometheus}")
+        else:
+            print(telemetry.summarize(data))
         if args.chrome:
             telemetry.write_chrome_trace(data, args.chrome)
             print(f"wrote {args.chrome}")
         return 0
     raise SystemExit(f"unknown trace command {args.trace_command!r}")
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ServiceConfig, run_server
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        queue_limit=args.queue_limit,
+        batch_window_seconds=args.batch_window,
+        max_batch=args.max_batch,
+        workers=args.workers,
+        default_deadline_seconds=args.deadline,
+        merge=not args.no_merge,
+        store_max_entries=args.store_entries,
+        store_max_bytes=args.store_bytes,
+        store_ttl_seconds=args.store_ttl,
+    )
+
+    def announce(server) -> None:
+        print(
+            f"repro serve: listening on http://{config.host}:{server.port} "
+            f"(workers={config.workers}, queue={config.queue_limit}, "
+            f"batch window={config.batch_window_seconds:g}s)",
+            flush=True,
+        )
+
+    run_server(config, on_ready=announce)
+    print("repro serve: drained, exiting")
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    design = _load(args.input)
+    client = ServiceClient(args.host, args.port, timeout=args.timeout)
+    try:
+        response = client.legalize(
+            design,
+            key=args.key,
+            deadline_seconds=args.deadline,
+            store_state=not args.no_store,
+            warm=not args.no_warm,
+            retries=args.retries,
+        )
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 4
+    except (OSError, TimeoutError) as exc:
+        print(
+            f"error: cannot reach server at {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 4
+    print(response.summary)
+    print(f"cache: {response.cache} (key={response.key!r})")
+    if response.warm_start_rejected:
+        print(f"  state rejected: {response.warm_start_rejected}")
+    if args.output:
+        client.apply(design, response)
+        _save(design, args.output)
+        print(f"wrote {args.output}")
+    return 0 if response.ok and response.audit_clean else 1
 
 
 def cmd_check(args: argparse.Namespace) -> int:
@@ -341,6 +431,64 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stop the campaign after this many failing cases")
     p.set_defaults(func=cmd_fuzz)
 
+    p = sub.add_parser(
+        "serve",
+        help="run the legalization service (JSON over HTTP)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8787,
+                   help="TCP port (0 binds an ephemeral port; the bound "
+                        "port is printed on startup)")
+    p.add_argument("--queue-limit", type=int, default=64,
+                   help="bounded job queue; a full queue answers 429 "
+                        "with Retry-After (default 64)")
+    p.add_argument("--batch-window", type=float, default=0.02, metavar="SEC",
+                   help="how long to wait for more requests to stack "
+                        "into one batched solve (default 0.02)")
+    p.add_argument("--max-batch", type=int, default=16,
+                   help="max designs per stacked solve (default 16)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="solver worker threads (default 2)")
+    p.add_argument("--deadline", type=float, default=None, metavar="SEC",
+                   help="default per-request deadline when the request "
+                        "does not send one (default: none)")
+    p.add_argument("--no-merge", action="store_true",
+                   help="solve every request solo instead of stacking "
+                        "compatible designs (positions are bit-identical "
+                        "either way)")
+    p.add_argument("--store-entries", type=int, default=1024,
+                   help="warm-state store entry cap (default 1024)")
+    p.add_argument("--store-bytes", type=int, default=256 * 1024 * 1024,
+                   help="warm-state store byte cap (default 256 MiB)")
+    p.add_argument("--store-ttl", type=float, default=None, metavar="SEC",
+                   help="warm-state TTL; expired entries count as misses "
+                        "(default: no TTL)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a design file to a running legalization server",
+    )
+    p.add_argument("input", help="design file (.aux or .json)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8787)
+    p.add_argument("--key", default=None,
+                   help="warm-state cache key (default: the design name)")
+    p.add_argument("--deadline", type=float, default=None, metavar="SEC",
+                   help="server-side deadline for this request")
+    p.add_argument("--no-warm", action="store_true",
+                   help="skip the warm-state lookup (force a cold solve)")
+    p.add_argument("--no-store", action="store_true",
+                   help="do not cache this run's solver state")
+    p.add_argument("--retries", type=int, default=0,
+                   help="retries on 429/503 backpressure (default 0)")
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="client-side HTTP timeout (default 120)")
+    p.add_argument("--output", default=None,
+                   help="apply the returned positions and save the "
+                        "design here (.aux or .json)")
+    p.set_defaults(func=cmd_submit)
+
     p = sub.add_parser("check", help="check legality of a design file")
     p.add_argument("input")
     p.add_argument("--max-messages", type=int, default=10)
@@ -371,6 +519,10 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("input", help="JSONL trace written by legalize --trace")
     ps.add_argument("--chrome", default=None, metavar="PATH",
                     help="also convert to a chrome://tracing JSON file")
+    ps.add_argument("--prometheus", default=None, metavar="PATH",
+                    help="emit the trace's metrics in Prometheus text "
+                         "exposition format instead of the summary "
+                         "('-' writes to stdout)")
     ps.set_defaults(func=cmd_trace)
     return parser
 

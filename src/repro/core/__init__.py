@@ -6,9 +6,11 @@ from repro.core.legalizer import (
     LegalizationResult,
     LegalizerConfig,
     MMSIMLegalizer,
+    PreparedLegalization,
     legalize,
     legalize_incremental,
 )
+from repro.core.multi import DesignJob, legalize_many
 from repro.core.qp_builder import (
     LegalizationQP,
     build_constraints,
@@ -56,8 +58,11 @@ __all__ = [
     "MMSIMLegalizer",
     "LegalizerConfig",
     "LegalizationResult",
+    "PreparedLegalization",
     "legalize",
     "legalize_incremental",
+    "DesignJob",
+    "legalize_many",
     "assign_rows",
     "RowAssignment",
     "InfeasibleAssignment",

@@ -132,6 +132,51 @@ class LegalizerConfig:
 
 
 @dataclass
+class PreparedLegalization:
+    """The front half of one design's flow, paused before the solve.
+
+    Produced by :meth:`MMSIMLegalizer.prepare`: the row assignment,
+    multi-row split model, and assembled QP, plus the resolved warm-start
+    decision (``z0`` from an accepted persisted state, else the GP-based
+    ``s0``).  :meth:`MMSIMLegalizer.build_systems` then attaches the
+    sharded / monolithic splitting and :meth:`MMSIMLegalizer.finish`
+    consumes the solver's ``z`` to produce a :class:`LegalizationResult`.
+
+    The point of the split: the multi-design engine
+    (:mod:`repro.core.multi`) prepares *several* designs, stacks their
+    KKT systems into one batched solve, and finishes each design from
+    its slice — reusing exactly the same stage code as a solo
+    :meth:`MMSIMLegalizer.legalize` call.
+    """
+
+    design: Design
+    assignment: object
+    model: object
+    legal_qp: LegalizationQP
+    params: SplittingParameters
+    #: Accepted persisted KKT solution (the warm path), else None.
+    z0: Optional[np.ndarray] = None
+    #: GP-based warm start (the cold path), else None.
+    s0: Optional[np.ndarray] = None
+    #: ``"state"`` (persisted solution accepted), ``"gp"`` (cold start
+    #: from global placement), or ``"none"`` (cfg.warm_start off).
+    warm_start: str = "gp"
+    #: Why an offered persisted state was rejected, else None.
+    warm_start_rejected: Optional[str] = None
+    sharded: Optional[object] = None
+    splitting: Optional[LegalizationSplitting] = None
+    theorem2_ok: Optional[bool] = None
+
+    @property
+    def num_variables(self) -> int:
+        return self.legal_qp.num_variables
+
+    @property
+    def num_constraints(self) -> int:
+        return self.legal_qp.num_constraints
+
+
+@dataclass
 class LegalizationResult:
     """Everything measured during one legalization run."""
 
@@ -161,6 +206,15 @@ class LegalizationResult:
     kkt_solution: Optional[np.ndarray] = None
     #: The mandatory post-flow legality audit (independent checker).
     legality: Optional[LegalityReport] = None
+    #: How the MMSIM was seeded: ``"state"`` (persisted solution
+    #: accepted — the ECO warm path), ``"gp"`` (cold start from the
+    #: global placement), or ``"none"``.
+    warm_start: str = "gp"
+    #: When a persisted state was offered but rejected (stale fingerprint
+    #: or dimension mismatch), the reason; None otherwise.  Surfaced in
+    #: :meth:`summary` so a silently discarded state is visible outside
+    #: telemetry.
+    warm_start_rejected: Optional[str] = None
 
     @property
     def runtime(self) -> float:
@@ -192,6 +246,10 @@ class LegalizationResult:
             f"({100 * self.tetris.illegal_fraction:.2f}%), "
             f"mmsim_iters={self.iterations}, runtime={self.runtime:.2f}s"
         )
+        if self.warm_start == "state":
+            text += ", warm=state"
+        elif self.warm_start_rejected is not None:
+            text += f", warm={self.warm_start} (stale state rejected)"
         if self.solver_escalations:
             winners = ",".join(e.winner for e in self.solver_escalations)
             text += (
@@ -221,241 +279,333 @@ class MMSIMLegalizer:
         design: Design,
         warm_start_z: "Optional[np.ndarray | SolverState]" = None,
     ) -> LegalizationResult:
-        cfg = self.config
-        tel = current_session()
         tracer = active_tracer()
-        metrics = tel.metrics
-
         with tracer.span(
             "legalize",
             design=design.name,
             algorithm=self.name,
             cells=len(design.movable_cells),
         ) as root:
-            with tracer.span("row_assign"):
-                assignment = assign_rows(design)
+            prepared = self.prepare(
+                design, warm_start_z=warm_start_z, tracer=tracer
+            )
+            self.build_systems(prepared, tracer=tracer)
+            mmsim_result, escalations = self.solve_prepared(
+                prepared, tracer=tracer
+            )
+            result = self.finish(
+                prepared, mmsim_result, escalations, tracer=tracer
+            )
+        result.stage_seconds = root.child_seconds()
+        return result
 
-            if cfg.balance_rows:
-                with tracer.span("rebalance"):
-                    from repro.core.rebalance import rebalance_rows
+    # ------------------------------------------------------------------
+    # Phase methods.  legalize() chains them under one root span; the
+    # multi-design engine (repro.core.multi) runs prepare()/finish() per
+    # design around one shared stacked solve of the merged KKT systems.
+    # ------------------------------------------------------------------
+    def prepare(
+        self,
+        design: Design,
+        warm_start_z: "Optional[np.ndarray | SolverState]" = None,
+        tracer=None,
+    ) -> PreparedLegalization:
+        """Front half: row alignment, splitting, QP assembly, and the
+        warm-start decision.  Does not touch cell positions."""
+        cfg = self.config
+        metrics = current_session().metrics
+        tracer = tracer if tracer is not None else active_tracer()
 
-                    rebalance_rows(design, assignment)
+        with tracer.span("row_assign"):
+            assignment = assign_rows(design)
 
-            with tracer.span("split") as span:
-                model = split_cells(design, assignment)
-                span.set_attribute("subcells", model.num_variables)
+        if cfg.balance_rows:
+            with tracer.span("rebalance"):
+                from repro.core.rebalance import rebalance_rows
 
-            with tracer.span("build_qp") as span:
-                legal_qp = build_legalization_qp(
-                    design,
-                    model,
+                rebalance_rows(design, assignment)
+
+        with tracer.span("split") as span:
+            model = split_cells(design, assignment)
+            span.set_attribute("subcells", model.num_variables)
+
+        with tracer.span("build_qp") as span:
+            legal_qp = build_legalization_qp(
+                design,
+                model,
+                lam=cfg.lam,
+                enforce_right_boundary=cfg.enforce_right_boundary,
+            )
+            span.set_attributes(
+                variables=legal_qp.num_variables,
+                constraints=legal_qp.num_constraints,
+            )
+            metrics.gauge("qp.variables").set(legal_qp.num_variables)
+            metrics.gauge("qp.constraints").set(legal_qp.num_constraints)
+
+        prepared = PreparedLegalization(
+            design=design,
+            assignment=assignment,
+            model=model,
+            legal_qp=legal_qp,
+            params=SplittingParameters(beta=cfg.beta, theta=cfg.theta),
+        )
+        self._resolve_warm_start(prepared, warm_start_z, metrics)
+        return prepared
+
+    def _resolve_warm_start(
+        self, prepared: PreparedLegalization, warm_start_z, metrics
+    ) -> None:
+        """Validate an offered persisted state and record the decision."""
+        cfg = self.config
+        design = prepared.design
+        z0 = None
+        reason = None
+        if warm_start_z is not None:
+            expected = prepared.num_variables + prepared.num_constraints
+            if isinstance(warm_start_z, SolverState):
+                reason = warm_start_z.matches(design, expected_dim=expected)
+                z0 = None if reason else warm_start_z.z
+            else:
+                z0 = np.asarray(warm_start_z, dtype=float)
+                reason = (
+                    None
+                    if z0.shape == (expected,)
+                    else (
+                        f"warm_start_z has shape {z0.shape}, "
+                        f"expected ({expected},)"
+                    )
+                )
+                if reason:
+                    z0 = None
+            if reason:
+                warnings.warn(
+                    f"rejecting stale warm start: {reason}; "
+                    "falling back to the GP warm start",
+                    StaleWarmStart,
+                    stacklevel=3,
+                )
+                metrics.counter("legalizer.stale_warm_starts").inc()
+        prepared.z0 = z0
+        prepared.warm_start_rejected = reason
+        if z0 is not None:
+            prepared.warm_start = "state"
+        elif cfg.warm_start:
+            prepared.s0 = self._warm_start(prepared.legal_qp)
+            prepared.warm_start = "gp"
+        else:
+            prepared.warm_start = "none"
+
+    def build_systems(
+        self, prepared: PreparedLegalization, tracer=None
+    ) -> PreparedLegalization:
+        """Attach the sharded (or monolithic) splitting to *prepared*."""
+        cfg = self.config
+        metrics = current_session().metrics
+        tracer = tracer if tracer is not None else active_tracer()
+        legal_qp = prepared.legal_qp
+        batching = cfg.batch_micro_shards and cfg.shard
+        with tracer.span("splitting") as span:
+            if cfg.shard:
+                prepared.sharded = shard_legalization_qp(
+                    legal_qp,
+                    params=prepared.params,
+                    min_shard_variables=(
+                        1 if batching else cfg.min_shard_variables
+                    ),
+                    fast_kernels=cfg.fast_kernels,
+                    lazy=batching,
+                )
+                span.set_attributes(
+                    components=prepared.sharded.num_components,
+                    shards=prepared.sharded.num_shards,
+                    fast_kernels=cfg.fast_kernels,
+                    batched=batching,
+                )
+                metrics.gauge("shard.components").set(
+                    prepared.sharded.num_components
+                )
+                metrics.gauge("shard.shards").set(prepared.sharded.num_shards)
+            else:
+                prepared.splitting = LegalizationSplitting(
+                    H=legal_qp.qp.H,
+                    B=legal_qp.qp.B,
+                    E=legal_qp.E,
                     lam=cfg.lam,
-                    enforce_right_boundary=cfg.enforce_right_boundary,
+                    params=prepared.params,
+                    fast_kernels=cfg.fast_kernels,
                 )
-                span.set_attributes(
-                    variables=legal_qp.num_variables,
-                    constraints=legal_qp.num_constraints,
-                )
-                metrics.gauge("qp.variables").set(legal_qp.num_variables)
-                metrics.gauge("qp.constraints").set(legal_qp.num_constraints)
+                span.set_attribute("fast_kernels", cfg.fast_kernels)
 
-            params = SplittingParameters(beta=cfg.beta, theta=cfg.theta)
-            sharded = None
-            splitting = None
-            batching = cfg.batch_micro_shards and cfg.shard
-            with tracer.span("splitting") as span:
-                if cfg.shard:
-                    sharded = shard_legalization_qp(
-                        legal_qp,
-                        params=params,
-                        min_shard_variables=(
-                            1 if batching else cfg.min_shard_variables
-                        ),
-                        fast_kernels=cfg.fast_kernels,
-                        lazy=batching,
+        if cfg.validate_theorem2:
+            with tracer.span("theorem2"):
+                # μ_max of a block-diagonal Γ is the max over blocks,
+                # so the sharded check is equivalent to the monolithic
+                # one: every shard must sit inside the window.
+                if prepared.sharded is not None:
+                    prepared.theorem2_ok = all(
+                        shard.splitting.parameters_satisfy_theorem2()
+                        for shard in prepared.sharded.shards
                     )
-                    span.set_attributes(
-                        components=sharded.num_components,
-                        shards=sharded.num_shards,
-                        fast_kernels=cfg.fast_kernels,
-                        batched=batching,
-                    )
-                    metrics.gauge("shard.components").set(
-                        sharded.num_components
-                    )
-                    metrics.gauge("shard.shards").set(sharded.num_shards)
                 else:
-                    splitting = LegalizationSplitting(
-                        H=legal_qp.qp.H,
-                        B=legal_qp.qp.B,
-                        E=legal_qp.E,
-                        lam=cfg.lam,
-                        params=params,
-                        fast_kernels=cfg.fast_kernels,
+                    prepared.theorem2_ok = (
+                        prepared.splitting.parameters_satisfy_theorem2()
                     )
-                    span.set_attribute("fast_kernels", cfg.fast_kernels)
+        return prepared
 
-            theorem2_ok: Optional[bool] = None
-            if cfg.validate_theorem2:
-                with tracer.span("theorem2"):
-                    # μ_max of a block-diagonal Γ is the max over blocks,
-                    # so the sharded check is equivalent to the monolithic
-                    # one: every shard must sit inside the window.
-                    if sharded is not None:
-                        theorem2_ok = all(
-                            shard.splitting.parameters_satisfy_theorem2()
-                            for shard in sharded.shards
-                        )
-                    else:
-                        theorem2_ok = splitting.parameters_satisfy_theorem2()
+    def solver_options(self, tel=None) -> MMSIMOptions:
+        """The MMSIM options this config implies, wired to *tel*'s sink."""
+        cfg = self.config
+        tel = tel if tel is not None else current_session()
+        return MMSIMOptions(
+            gamma=cfg.gamma,
+            tol=cfg.tol,
+            residual_tol=cfg.residual_tol,
+            max_iterations=cfg.max_iterations,
+            record_history=cfg.record_history,
+            telemetry=tel.solver_events,
+        )
 
-            with tracer.span("mmsim") as span:
-                z0 = None
-                if warm_start_z is not None:
-                    expected = (
-                        legal_qp.num_variables + legal_qp.num_constraints
-                    )
-                    if isinstance(warm_start_z, SolverState):
-                        reason = warm_start_z.matches(
-                            design, expected_dim=expected
-                        )
-                        z0 = None if reason else warm_start_z.z
-                    else:
-                        z0 = np.asarray(warm_start_z, dtype=float)
-                        reason = (
-                            None
-                            if z0.shape == (expected,)
-                            else (
-                                f"warm_start_z has shape {z0.shape}, "
-                                f"expected ({expected},)"
-                            )
-                        )
-                        if reason:
-                            z0 = None
-                    if reason:
-                        warnings.warn(
-                            f"rejecting stale warm start: {reason}; "
-                            "falling back to the GP warm start",
-                            StaleWarmStart,
-                            stacklevel=2,
-                        )
-                        metrics.counter("legalizer.stale_warm_starts").inc()
-                s0 = (
-                    self._warm_start(legal_qp)
-                    if cfg.warm_start and z0 is None
+    def solve_prepared(self, prepared: PreparedLegalization, tracer=None):
+        """Solve the prepared design's own KKT systems; returns
+        ``(mmsim_result, escalations)``."""
+        cfg = self.config
+        tel = current_session()
+        metrics = tel.metrics
+        tracer = tracer if tracer is not None else active_tracer()
+        legal_qp = prepared.legal_qp
+        s0 = prepared.s0
+        z0 = prepared.z0
+        with tracer.span("mmsim") as span:
+            options = self.solver_options(tel)
+            rcfg = (
+                (cfg.resilience or ResilienceConfig())
+                if cfg.fallback
+                else None
+            )
+            escalations: List[ShardEscalation] = []
+            if prepared.sharded is not None:
+                max_workers = (
+                    (cfg.max_workers or os.cpu_count() or 1)
+                    if cfg.parallel
                     else None
                 )
-                options = MMSIMOptions(
-                    gamma=cfg.gamma,
-                    tol=cfg.tol,
-                    residual_tol=cfg.residual_tol,
-                    max_iterations=cfg.max_iterations,
-                    record_history=cfg.record_history,
-                    telemetry=tel.solver_events,
-                )
-                rcfg = (
-                    (cfg.resilience or ResilienceConfig())
-                    if cfg.fallback
+                batch = (
+                    BatchOptions(
+                        signature_buckets=cfg.batch_signature_buckets
+                    )
+                    if cfg.batch_micro_shards and cfg.shard
                     else None
                 )
-                escalations: List[ShardEscalation] = []
-                if sharded is not None:
-                    max_workers = (
-                        (cfg.max_workers or os.cpu_count() or 1)
-                        if cfg.parallel
-                        else None
+                if rcfg is not None:
+                    mmsim_result, escalations = solve_sharded_resilient(
+                        prepared.sharded,
+                        options,
+                        s0=s0,
+                        max_workers=max_workers,
+                        config=rcfg,
+                        z0=z0,
+                        parallel=cfg.parallel,
+                        batch=batch,
                     )
-                    batch = (
-                        BatchOptions(
-                            signature_buckets=cfg.batch_signature_buckets
-                        )
-                        if batching
-                        else None
-                    )
-                    if rcfg is not None:
-                        mmsim_result, escalations = solve_sharded_resilient(
-                            sharded,
-                            options,
-                            s0=s0,
-                            max_workers=max_workers,
-                            config=rcfg,
-                            z0=z0,
-                            parallel=cfg.parallel,
-                            batch=batch,
-                        )
-                    else:
-                        mmsim_result = solve_sharded(
-                            sharded,
-                            options,
-                            s0=s0,
-                            max_workers=max_workers,
-                            z0=z0,
-                            parallel=cfg.parallel,
-                            batch=batch,
-                        )
                 else:
-                    lcp = legal_qp.qp.kkt_lcp()
-                    if rcfg is not None:
-                        mmsim_result, escalations = solve_monolithic_resilient(
-                            lcp, splitting, options, s0=s0, config=rcfg, z0=z0
-                        )
-                    else:
-                        mmsim_result = mmsim_solve(
-                            lcp, splitting, options, s0=s0, z0=z0
-                        )
-                y, _r = split_kkt_solution(
-                    mmsim_result.z, legal_qp.num_variables
-                )
-                x = legal_qp.to_positions(y)
-                span.set_attributes(
-                    iterations=mmsim_result.iterations,
-                    converged=mmsim_result.converged,
-                    residual=mmsim_result.residual,
-                    escalations=len(escalations),
-                )
-                metrics.counter("mmsim.iterations").inc(mmsim_result.iterations)
-                metrics.counter("mmsim.solves").inc()
-                if "stall rescued" in mmsim_result.message:
-                    metrics.counter("mmsim.stall_rescues").inc()
-
-            with tracer.span("restore"):
-                max_mm, mean_mm = restore_cells(
-                    design, model, x, legal_qp.x_origin
-                )
-
-            with tracer.span("tetris") as span:
-                tetris_stats = tetris_allocate(design)
-                span.set_attribute("num_illegal", tetris_stats.num_illegal)
-                metrics.counter("legalizer.illegal_after_qp").inc(
-                    tetris_stats.num_illegal
-                )
-
-            # Mandatory post-flow audit: the flow must never report
-            # success on an illegal placement, whatever path (fallbacks
-            # included) produced it.  The checker is independent of the
-            # legalizer's own bookkeeping by design.
-            with tracer.span("audit") as span:
-                legality = check_legality(design)
-                span.set_attribute("violations", len(legality.violations))
-                if not legality.is_legal:
-                    metrics.counter("legalizer.audit_violations").inc(
-                        len(legality.violations)
+                    mmsim_result = solve_sharded(
+                        prepared.sharded,
+                        options,
+                        s0=s0,
+                        max_workers=max_workers,
+                        z0=z0,
+                        parallel=cfg.parallel,
+                        batch=batch,
                     )
+            else:
+                lcp = legal_qp.qp.kkt_lcp()
+                if rcfg is not None:
+                    mmsim_result, escalations = solve_monolithic_resilient(
+                        lcp,
+                        prepared.splitting,
+                        options,
+                        s0=s0,
+                        config=rcfg,
+                        z0=z0,
+                    )
+                else:
+                    mmsim_result = mmsim_solve(
+                        lcp, prepared.splitting, options, s0=s0, z0=z0
+                    )
+            span.set_attributes(
+                iterations=mmsim_result.iterations,
+                converged=mmsim_result.converged,
+                residual=mmsim_result.residual,
+                escalations=len(escalations),
+            )
+            metrics.counter("mmsim.iterations").inc(mmsim_result.iterations)
+            metrics.counter("mmsim.solves").inc()
+            if "stall rescued" in mmsim_result.message:
+                metrics.counter("mmsim.stall_rescues").inc()
+        return mmsim_result, escalations
 
-            with tracer.span("metrics"):
-                disp = displacement_stats(design)
-                wl = wirelength_stats(design) if design.nets else None
-                if tel.enabled:
-                    metrics.counter("legalizer.cells_moved").inc(
-                        sum(
-                            1
-                            for c in design.movable_cells
-                            if c.x != c.gp_x or c.y != c.gp_y
-                        )
+    def finish(
+        self,
+        prepared: PreparedLegalization,
+        mmsim_result,
+        escalations: Optional[List[ShardEscalation]] = None,
+        tracer=None,
+    ) -> LegalizationResult:
+        """Back half: scatter positions, restore multi-row cells, Tetris
+        allocation, the mandatory legality audit, and result assembly.
+
+        ``stage_seconds`` is left empty — the caller owns the root span
+        and fills it in afterwards (see :meth:`legalize`).
+        """
+        tel = current_session()
+        metrics = tel.metrics
+        tracer = tracer if tracer is not None else active_tracer()
+        design = prepared.design
+        legal_qp = prepared.legal_qp
+        escalations = escalations or []
+
+        y, _r = split_kkt_solution(mmsim_result.z, legal_qp.num_variables)
+        x = legal_qp.to_positions(y)
+
+        with tracer.span("restore"):
+            max_mm, mean_mm = restore_cells(
+                design, prepared.model, x, legal_qp.x_origin
+            )
+
+        with tracer.span("tetris") as span:
+            tetris_stats = tetris_allocate(design)
+            span.set_attribute("num_illegal", tetris_stats.num_illegal)
+            metrics.counter("legalizer.illegal_after_qp").inc(
+                tetris_stats.num_illegal
+            )
+
+        # Mandatory post-flow audit: the flow must never report
+        # success on an illegal placement, whatever path (fallbacks
+        # included) produced it.  The checker is independent of the
+        # legalizer's own bookkeeping by design.
+        with tracer.span("audit") as span:
+            legality = check_legality(design)
+            span.set_attribute("violations", len(legality.violations))
+            if not legality.is_legal:
+                metrics.counter("legalizer.audit_violations").inc(
+                    len(legality.violations)
+                )
+
+        with tracer.span("metrics"):
+            disp = displacement_stats(design)
+            wl = wirelength_stats(design) if design.nets else None
+            if tel.enabled:
+                metrics.counter("legalizer.cells_moved").inc(
+                    sum(
+                        1
+                        for c in design.movable_cells
+                        if c.x != c.gp_x or c.y != c.gp_y
                     )
-                    metrics.histogram("legalizer.displacement_sites").observe(
-                        disp.total_manhattan_sites
-                    )
+                )
+                metrics.histogram("legalizer.displacement_sites").observe(
+                    disp.total_manhattan_sites
+                )
 
         return LegalizationResult(
             design_name=design.name,
@@ -465,19 +615,21 @@ class MMSIMLegalizer:
             converged=mmsim_result.converged,
             iterations=mmsim_result.iterations,
             lcp_residual=mmsim_result.residual,
-            y_displacement=assignment.y_displacement,
+            y_displacement=prepared.assignment.y_displacement,
             max_subcell_mismatch=max_mm,
             mean_subcell_mismatch=mean_mm,
             tetris=tetris_stats,
             displacement=disp,
             wirelength=wl,
-            stage_seconds=root.child_seconds(),
+            stage_seconds={},
             qp_objective=legal_qp.qp.objective(y),
-            theorem2_ok=theorem2_ok,
+            theorem2_ok=prepared.theorem2_ok,
             residual_history=mmsim_result.residual_history,
             solver_escalations=escalations,
             kkt_solution=mmsim_result.z,
             legality=legality,
+            warm_start=prepared.warm_start,
+            warm_start_rejected=prepared.warm_start_rejected,
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,335 @@
+"""Cross-design stacked legalization: many designs, one batched solve.
+
+The legalization service answers many small concurrent requests — each a
+whole (usually small, often warm-started) design.  Solving them one at a
+time repays the per-solve Python and setup overhead the batched engine
+(:mod:`repro.core.batched`) was built to amortize; this module extends
+that amortization *across requests*:
+
+1. each design runs the front half of the flow on its own
+   (:meth:`~repro.core.legalizer.MMSIMLegalizer.prepare`: row alignment,
+   multi-row split, QP assembly, warm-start validation);
+2. designs with compatible solver settings are **merged**: their QP
+   blocks are stacked block-diagonally (designs never couple, so the
+   merged KKT LCP is exactly the concatenation of the per-design ones —
+   the same invariant component sharding already exploits *within* one
+   design) and sharded at micro-component granularity;
+3. one call into the sharded/batched/resilient solver sweeps every
+   shard of every design, grouping shards *across designs* by structural
+   signature into stacked vectorized MMSIMs;
+4. each design's slice of the solution is scattered back and finished
+   independently (restore, Tetris allocation, mandatory legality audit).
+
+Positions are bit-identical to legalizing each design alone: merging
+only changes which stacked group a shard sweeps in, and the batched
+engine is bit-identical to the per-shard path by construction (see
+:mod:`repro.core.batched`).
+
+Warm and cold designs are solved in **separate** merged groups: a warm
+group seeds from the concatenated persisted ``z`` vectors, a cold group
+from the concatenated GP warm starts, so each design's seed is exactly
+what a solo run would use.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.batched import BatchOptions
+from repro.core.legalizer import (
+    LegalizationResult,
+    LegalizerConfig,
+    MMSIMLegalizer,
+    PreparedLegalization,
+)
+from repro.core.resilience import (
+    ResilienceConfig,
+    ShardEscalation,
+    solve_sharded_resilient,
+)
+from repro.core.sharding import build_shards, solve_sharded
+from repro.core.state import SolverState
+from repro.lcp.problem import LCPResult
+from repro.netlist.design import Design
+from repro.telemetry import active_tracer, current_session
+
+
+@dataclass
+class DesignJob:
+    """One design to legalize, with its config and optional warm state."""
+
+    design: Design
+    config: Optional[LegalizerConfig] = None
+    warm_state: Union[None, SolverState, np.ndarray] = None
+
+
+def _mergeable(cfg: LegalizerConfig) -> bool:
+    """Whether a config can join a merged stacked solve.
+
+    Excluded: the deprecated history buffer (per-design history cannot
+    be disentangled from a stacked sweep), theorem-2 validation (needs
+    per-design splittings materialized), custom resilience configs
+    (fault-injection hooks are keyed by per-design shard indices), and
+    the explicitly monolithic / slow-kernel paths.
+    """
+    return (
+        cfg.shard
+        and cfg.fast_kernels
+        and not cfg.record_history
+        and not cfg.validate_theorem2
+        and cfg.resilience is None
+    )
+
+
+def _solver_key(cfg: LegalizerConfig, prepared: PreparedLegalization) -> Tuple:
+    """Designs merge only when every solver-visible setting agrees —
+    and warm (``z0``) never merges with cold (``s0``), so each group's
+    seed vector is the concatenation of identically-sourced seeds."""
+    return (
+        cfg.lam,
+        cfg.beta,
+        cfg.theta,
+        cfg.gamma,
+        cfg.tol,
+        cfg.residual_tol,
+        cfg.max_iterations,
+        cfg.fallback,
+        cfg.parallel,
+        cfg.max_workers,
+        cfg.batch_signature_buckets,
+        prepared.z0 is not None,
+        prepared.s0 is not None,
+    )
+
+
+def _scatter_escalations(
+    escalations: List[ShardEscalation],
+    sharded,
+    n_offsets: np.ndarray,
+) -> Dict[int, List[ShardEscalation]]:
+    """Map combined-system escalations back to their owning design."""
+    by_design: Dict[int, List[ShardEscalation]] = {}
+    if not escalations:
+        return by_design
+    shard_by_index = {shard.index: shard for shard in sharded.shards}
+    for esc in escalations:
+        shard = shard_by_index.get(esc.shard_index)
+        if shard is None or len(shard.variables) == 0:
+            continue
+        owner = int(
+            np.searchsorted(n_offsets, shard.variables[0], side="right") - 1
+        )
+        by_design.setdefault(owner, []).append(esc)
+    return by_design
+
+
+def _solve_group(
+    members: List[int],
+    prepared: List[Optional[PreparedLegalization]],
+    legalizers: List[MMSIMLegalizer],
+    results: List[Optional[LegalizationResult]],
+    tracer,
+) -> None:
+    """Stack one compatible group's KKT systems, solve, finish each."""
+    preps = [prepared[i] for i in members]
+    cfg = legalizers[members[0]].config
+    tel = current_session()
+
+    n_sizes = np.array([p.num_variables for p in preps], dtype=np.intp)
+    m_sizes = np.array([p.num_constraints for p in preps], dtype=np.intp)
+    n_offsets = np.concatenate([[0], np.cumsum(n_sizes)])
+    m_offsets = np.concatenate([[0], np.cumsum(m_sizes)])
+    N = int(n_offsets[-1])
+    M = int(m_offsets[-1])
+
+    with tracer.span(
+        "stack", designs=len(preps), variables=N, constraints=M
+    ):
+        Hc = sp.block_diag(
+            [p.legal_qp.qp.H for p in preps], format="csr"
+        )
+        Bc = sp.block_diag(
+            [p.legal_qp.qp.B for p in preps], format="csr"
+        )
+        Ec = sp.block_diag([p.legal_qp.E for p in preps], format="csr")
+        pc = np.concatenate([p.legal_qp.qp.p for p in preps])
+        bc = np.concatenate([p.legal_qp.qp.b for p in preps])
+        sharded = build_shards(
+            Hc,
+            pc,
+            Bc,
+            bc,
+            Ec,
+            lam=cfg.lam,
+            params=preps[0].params,
+            min_shard_variables=1,
+            fast_kernels=True,
+            lazy=True,
+        )
+        if tel.enabled:
+            tel.metrics.gauge("shard.components").set(sharded.num_components)
+            tel.metrics.gauge("shard.shards").set(sharded.num_shards)
+
+        # Seeds live in the stacked KKT layout [all tops; all bottoms].
+        s0c = None
+        z0c = None
+        if preps[0].z0 is not None:
+            z0c = np.concatenate(
+                [p.z0[: p.num_variables] for p in preps]
+                + [p.z0[p.num_variables:] for p in preps]
+            )
+        elif preps[0].s0 is not None:
+            s0c = np.concatenate(
+                [p.s0[: p.num_variables] for p in preps]
+                + [p.s0[p.num_variables:] for p in preps]
+            )
+
+    options = legalizers[members[0]].solver_options(tel)
+    rcfg = ResilienceConfig() if cfg.fallback else None
+    batch = BatchOptions(signature_buckets=cfg.batch_signature_buckets)
+    start = time.perf_counter()
+    with tracer.span(
+        "mmsim_batch", designs=len(preps), variables=N, constraints=M
+    ) as span:
+        if rcfg is not None:
+            group_result, escalations = solve_sharded_resilient(
+                sharded,
+                options,
+                s0=s0c,
+                max_workers=cfg.max_workers if cfg.parallel else None,
+                config=rcfg,
+                z0=z0c,
+                parallel=cfg.parallel,
+                batch=batch,
+            )
+        else:
+            escalations = []
+            group_result = solve_sharded(
+                sharded,
+                options,
+                s0=s0c,
+                max_workers=cfg.max_workers if cfg.parallel else None,
+                z0=z0c,
+                parallel=cfg.parallel,
+                batch=batch,
+            )
+        span.set_attributes(
+            iterations=group_result.iterations,
+            converged=group_result.converged,
+            residual=group_result.residual,
+        )
+    solve_seconds = time.perf_counter() - start
+    if tel.enabled:
+        tel.metrics.counter("mmsim.iterations").inc(group_result.iterations)
+        tel.metrics.counter("mmsim.solves").inc()
+
+    esc_by_design = _scatter_escalations(escalations, sharded, n_offsets)
+
+    z = group_result.z
+    for gi, i in enumerate(members):
+        p = prepared[i]
+        z_d = np.concatenate(
+            [
+                z[n_offsets[gi]: n_offsets[gi] + n_sizes[gi]],
+                z[N + m_offsets[gi]: N + m_offsets[gi] + m_sizes[gi]],
+            ]
+        )
+        # Group-level convergence stats: iterations/residual are the
+        # stacked solve's aggregates (max over every shard in the
+        # group), a conservative bound for each member design.
+        design_result = LCPResult(
+            z=z_d,
+            converged=group_result.converged,
+            iterations=group_result.iterations,
+            residual=group_result.residual,
+            solver="mmsim",
+            message=group_result.message,
+        )
+        with tracer.span(
+            "legalize",
+            design=p.design.name,
+            algorithm="mmsim",
+            phase="finish",
+            cells=len(p.design.movable_cells),
+        ) as froot:
+            result = legalizers[i].finish(
+                p,
+                design_result,
+                esc_by_design.get(gi, []),
+                tracer=tracer,
+            )
+        stage_seconds = dict(froot.child_seconds())
+        stage_seconds["mmsim"] = solve_seconds
+        result.stage_seconds = stage_seconds
+        results[i] = result
+
+
+def legalize_many(
+    jobs: Sequence[Union[DesignJob, Design]],
+    merge: bool = True,
+) -> List[LegalizationResult]:
+    """Legalize several designs, stacking compatible ones into shared
+    batched solves.  Returns one :class:`LegalizationResult` per job, in
+    order.  Plain :class:`Design` items are wrapped in a default
+    :class:`DesignJob`.
+
+    ``merge=False`` (or any config the merger excludes — see
+    ``_mergeable``) falls back to independent solo runs; merged and solo
+    paths produce bit-identical positions either way.
+    """
+    jobs = [
+        job if isinstance(job, DesignJob) else DesignJob(design=job)
+        for job in jobs
+    ]
+    results: List[Optional[LegalizationResult]] = [None] * len(jobs)
+    legalizers: List[MMSIMLegalizer] = [
+        MMSIMLegalizer(job.config) for job in jobs
+    ]
+    prepared: List[Optional[PreparedLegalization]] = [None] * len(jobs)
+    tracer = active_tracer()
+
+    groups: Dict[Tuple, List[int]] = {}
+    solo: List[int] = []
+    for i, job in enumerate(jobs):
+        cfg = legalizers[i].config
+        if not merge or not _mergeable(cfg):
+            solo.append(i)
+            continue
+        with tracer.span(
+            "legalize",
+            design=job.design.name,
+            algorithm="mmsim",
+            phase="prepare",
+            cells=len(job.design.movable_cells),
+        ) as proot:
+            prep = legalizers[i].prepare(
+                job.design, warm_start_z=job.warm_state, tracer=tracer
+            )
+        if prep.num_variables == 0:
+            # Degenerate (no movable subcells): nothing to stack.
+            solo.append(i)
+            continue
+        prep._prepare_seconds = dict(proot.child_seconds())  # type: ignore[attr-defined]
+        prepared[i] = prep
+        groups.setdefault(_solver_key(cfg, prep), []).append(i)
+
+    for i in solo:
+        results[i] = legalizers[i].legalize(
+            jobs[i].design, warm_start_z=jobs[i].warm_state
+        )
+
+    for members in groups.values():
+        _solve_group(members, prepared, legalizers, results, tracer)
+        for i in members:
+            extra = getattr(prepared[i], "_prepare_seconds", None)
+            if extra:
+                merged = dict(extra)
+                merged.update(results[i].stage_seconds)
+                results[i].stage_seconds = merged
+
+    return results  # type: ignore[return-value]

@@ -25,6 +25,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
 from dataclasses import dataclass
 from typing import Optional
 
@@ -127,7 +128,15 @@ class SolverState:
 
 def save_solver_state(path: str, state: SolverState) -> None:
     """Write *state* to ``path`` as an ``.npz`` archive (exact path, no
-    extension appended — the CLI round-trips bare filenames)."""
+    extension appended — the CLI round-trips bare filenames).
+
+    The write is **atomic**: the archive goes to a temporary file in the
+    same directory, is fsynced, and then renamed over ``path`` with
+    :func:`os.replace`.  A run interrupted mid-write (SIGKILL, disk full,
+    power loss) therefore leaves either the previous state or the new
+    one — never a truncated archive that would crash the next
+    warm-started run's load.
+    """
     meta = json.dumps(
         {
             "version": state.version,
@@ -137,8 +146,23 @@ def save_solver_state(path: str, state: SolverState) -> None:
             "design_name": state.design_name,
         }
     )
-    with open(path, "wb") as fh:
-        np.savez(fh, z=state.z, **{_META_KEY: np.asarray(meta)})
+    path = os.fspath(path)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez(fh, z=state.z, **{_META_KEY: np.asarray(meta)})
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 def load_solver_state(path: str) -> SolverState:

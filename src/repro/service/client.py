@@ -1,0 +1,178 @@
+"""Client library for the legalization service (stdlib ``http.client``).
+
+Used by ``repro submit``, the test suite, and any placement flow that
+wants to offload legalization to a running ``repro serve`` process::
+
+    from repro.service.client import ServiceClient
+
+    with ServiceClient("127.0.0.1", 8787) as client:
+        response = client.legalize(design, key="top")      # cold
+        ...perturb GP positions...
+        response = client.legalize(design, key="top")      # warm hit
+        client.apply(design, response)                     # write back x/y
+
+Every call opens one connection (the server speaks ``Connection:
+close``), so a client is cheap to construct and safe to share across
+threads apart from the usual one-request-at-a-time rule per instance.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.netlist.design import Design
+from repro.service.protocol import (
+    LegalizeRequest,
+    LegalizeResponse,
+    apply_positions,
+)
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx answer from the server."""
+
+    def __init__(self, status: int, payload: Any) -> None:
+        message = payload.get("error") if isinstance(payload, dict) else None
+        super().__init__(
+            f"server answered {status}: {message or payload}"
+        )
+        self.status = status
+        self.payload = payload
+
+    @property
+    def retriable(self) -> bool:
+        """True for backpressure/drain rejections worth retrying."""
+        return self.status in (429, 503)
+
+
+@dataclass
+class ServiceClient:
+    host: str = "127.0.0.1"
+    port: int = 8787
+    timeout: float = 120.0
+
+    # ------------------------------------------------------------------
+    def legalize(
+        self,
+        design: Design,
+        key: Optional[str] = None,
+        config: Optional[Dict[str, Any]] = None,
+        deadline_seconds: Optional[float] = None,
+        store_state: bool = True,
+        warm: bool = True,
+        retries: int = 0,
+        retry_interval: float = 0.25,
+    ) -> LegalizeResponse:
+        """Submit *design* and return the parsed response.
+
+        ``retries`` > 0 re-submits on 429/503 (honouring the server's
+        ``Retry-After`` hint when present) — the client-side half of the
+        backpressure contract.
+        """
+        request = LegalizeRequest(
+            design=design,
+            key=key,
+            config=dict(config or {}),
+            deadline_seconds=deadline_seconds,
+            store_state=store_state,
+            warm=warm,
+        )
+        attempt = 0
+        while True:
+            status, payload, headers = self._http(
+                "POST", "/legalize", request.to_dict()
+            )
+            if status == 200:
+                return LegalizeResponse.from_dict(payload)
+            error = ServiceError(status, payload)
+            if error.retriable and attempt < retries:
+                attempt += 1
+                hint = headers.get("retry-after")
+                time.sleep(float(hint) if hint else retry_interval)
+                continue
+            raise error
+
+    @staticmethod
+    def apply(design: Design, response: LegalizeResponse) -> None:
+        """Write a response's legalized positions onto *design*."""
+        apply_positions(design, response.positions)
+
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        return self._get_json("/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._get_json("/stats")
+
+    def metrics_text(self) -> str:
+        status, payload, _ = self._http("GET", "/metrics", None, raw=True)
+        if status != 200:
+            raise ServiceError(status, payload)
+        return payload
+
+    def shutdown(self) -> Dict[str, Any]:
+        status, payload, _ = self._http("POST", "/shutdown", None)
+        if status != 200:
+            raise ServiceError(status, payload)
+        return payload
+
+    def wait_ready(self, timeout: float = 10.0, interval: float = 0.05) -> None:
+        """Poll ``/healthz`` until the server answers (startup helper)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                self.healthz()
+                return
+            except (OSError, ServiceError):
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"server at {self.host}:{self.port} did not become "
+                        f"ready within {timeout:g}s"
+                    )
+                time.sleep(interval)
+
+    # ------------------------------------------------------------------
+    def _get_json(self, path: str) -> Dict[str, Any]:
+        status, payload, _ = self._http("GET", path, None)
+        if status != 200:
+            raise ServiceError(status, payload)
+        return payload
+
+    def _http(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]],
+        raw: bool = False,
+    ):
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = json.dumps(body).encode() if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            resp = conn.getresponse()
+            data = resp.read()
+            header_map = {k.lower(): v for k, v in resp.getheaders()}
+            if raw and resp.status == 200:
+                return resp.status, data.decode(), header_map
+            try:
+                decoded = json.loads(data) if data else {}
+            except json.JSONDecodeError:
+                decoded = {"error": data.decode(errors="replace")}
+            return resp.status, decoded, header_map
+        finally:
+            conn.close()
+
+    # Context-manager sugar (no held connection, but symmetric with
+    # richer clients so call sites read naturally).
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None

@@ -43,6 +43,7 @@ from repro.telemetry.export import (
     aggregate_stage_seconds,
     chrome_trace,
     iter_records,
+    prometheus_text,
     read_jsonl,
     summarize,
     write_chrome_trace,
@@ -87,6 +88,7 @@ __all__ = [
     "read_jsonl",
     "chrome_trace",
     "write_chrome_trace",
+    "prometheus_text",
     "summarize",
     "aggregate_stage_seconds",
 ]

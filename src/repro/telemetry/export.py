@@ -12,6 +12,10 @@ Three output formats for one :class:`~repro.telemetry.session.TelemetrySession`:
   events become instant events (``ph: "i"``).
 * **Human summary** (:func:`summarize`) — a per-stage / per-solver
   breakdown rendered as text (the ``repro trace summarize`` CLI).
+* **Prometheus text format** (:func:`prometheus_text`) — the metrics
+  half only, in the exposition format Prometheus scrapes; served live by
+  the legalization service's ``/metrics`` endpoint and available offline
+  via ``repro trace summarize out.jsonl --prometheus``.
 
 Schema version: ``repro.telemetry/1``.
 """
@@ -19,11 +23,14 @@ Schema version: ``repro.telemetry/1``.
 from __future__ import annotations
 
 import json
+import math
+import re
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Union
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Union
 
 from repro.telemetry.events import solver_iteration_counts
+from repro.telemetry.metrics import MetricsRegistry, NullMetricsRegistry
 from repro.telemetry.session import TelemetrySession
 
 SCHEMA = "repro.telemetry/1"
@@ -179,6 +186,99 @@ def write_chrome_trace(
     with open(path, "w") as fh:
         json.dump(chrome_trace(source), fh)
     return path
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition format
+# ----------------------------------------------------------------------
+_PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+MetricsSource = Union[
+    TelemetrySession,
+    TraceData,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    Mapping[str, Mapping[str, Any]],
+]
+
+
+def _prom_name(name: str, namespace: str) -> str:
+    """Sanitize a dotted metric name into a Prometheus metric name."""
+    sanitized = _PROM_NAME_RE.sub("_", name)
+    if namespace:
+        sanitized = f"{namespace}_{sanitized}"
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = f"_{sanitized}"
+    return sanitized
+
+
+def _prom_value(value: Any) -> str:
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        return "NaN"
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _metric_snapshots(source: MetricsSource) -> Dict[str, Dict[str, Any]]:
+    """Normalize any metrics carrier into ``{name: snapshot}``."""
+    if isinstance(source, (MetricsRegistry, NullMetricsRegistry)):
+        return dict(source.snapshot())
+    if isinstance(source, TelemetrySession):
+        return dict(source.metrics.snapshot())
+    if isinstance(source, TraceData):
+        return {
+            m["name"]: m
+            for m in source.metrics
+            if isinstance(m, dict) and "name" in m
+        }
+    return {name: dict(snap) for name, snap in source.items()}
+
+
+def prometheus_text(source: MetricsSource, namespace: str = "repro") -> str:
+    """Render metrics in the Prometheus text exposition format (v0.0.4).
+
+    *source* may be a live :class:`~repro.telemetry.metrics.MetricsRegistry`,
+    a :class:`TelemetrySession`, a loaded :class:`TraceData`, or a raw
+    ``snapshot()`` mapping.  Dotted names are sanitized
+    (``resilience.win.mmsim_safe`` → ``repro_resilience_win_mmsim_safe``)
+    with the original name preserved in the ``# HELP`` line.  Counters and
+    gauges map directly; the streaming :class:`Histogram` (count / sum /
+    min / max, no buckets) maps to a bucketless ``summary`` pair
+    (``_count`` / ``_sum``) plus ``_min`` / ``_max`` gauges.
+    """
+    snapshots = _metric_snapshots(source)
+    lines: List[str] = []
+    for name in sorted(snapshots):
+        snap = snapshots[name]
+        kind = snap.get("type")
+        prom = _prom_name(name, namespace)
+        if kind == "counter":
+            lines.append(f"# HELP {prom} repro metric {name!r}")
+            lines.append(f"# TYPE {prom} counter")
+            lines.append(f"{prom} {_prom_value(snap.get('value', 0.0))}")
+        elif kind == "gauge":
+            lines.append(f"# HELP {prom} repro metric {name!r}")
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(f"{prom} {_prom_value(snap.get('value', 0.0))}")
+        elif kind == "histogram":
+            lines.append(f"# HELP {prom} repro metric {name!r}")
+            lines.append(f"# TYPE {prom} summary")
+            lines.append(f"{prom}_count {_prom_value(snap.get('count', 0))}")
+            lines.append(f"{prom}_sum {_prom_value(snap.get('sum', 0.0))}")
+            for stat in ("min", "max"):
+                value = snap.get(stat)
+                if value is None:
+                    continue
+                lines.append(f"# TYPE {prom}_{stat} gauge")
+                lines.append(f"{prom}_{stat} {_prom_value(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
 
 
 # ----------------------------------------------------------------------

@@ -8,6 +8,14 @@ A :class:`MetricsRegistry` is a get-or-create map from dotted metric names
 * :class:`Histogram` — streaming count/sum/min/max/mean of observations
   (``observe``) without storing samples.
 
+All three instruments and the registry itself are **thread-safe**: the
+legalization service updates one long-lived registry from concurrent
+worker threads, and a lost update on a shared counter would silently
+undercount (``value += x`` is a read-modify-write even under the GIL).
+Single-threaded flows pay one uncontended lock acquire per update, which
+is noise next to the work being counted (instruments fire per stage /
+per solve, never per sweep iteration).
+
 :class:`NullMetricsRegistry` is the disabled twin: it hands out shared
 no-op instruments so instrumented code can call ``metrics.counter(...)``
 unconditionally at stage granularity.
@@ -16,23 +24,26 @@ unconditionally at stage granularity.
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, Union
+import threading
+from typing import Any, Dict, Mapping, Optional, Union
 
 
 class Counter:
     """Monotonic counter."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
     kind = "counter"
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError("counters only go up; use a Gauge instead")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot(self) -> Dict[str, Any]:
         return {"name": self.name, "type": self.kind, "value": self.value}
@@ -41,18 +52,20 @@ class Counter:
 class Gauge:
     """Last-value-wins instrument."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
     kind = "gauge"
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot(self) -> Dict[str, Any]:
         return {"name": self.name, "type": self.kind, "value": self.value}
@@ -61,7 +74,7 @@ class Gauge:
 class Histogram:
     """Streaming summary statistics (no samples retained)."""
 
-    __slots__ = ("name", "count", "sum", "min", "max")
+    __slots__ = ("name", "count", "sum", "min", "max", "_lock")
     kind = "histogram"
 
     def __init__(self, name: str) -> None:
@@ -70,15 +83,36 @@ class Histogram:
         self.sum = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.sum += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    def merge(
+        self,
+        count: int,
+        total: float,
+        minimum: Optional[float],
+        maximum: Optional[float],
+    ) -> None:
+        """Fold another histogram's summary into this one (used when a
+        per-request registry is folded into a service-wide one)."""
+        if count <= 0:
+            return
+        with self._lock:
+            self.count += int(count)
+            self.sum += float(total)
+            if minimum is not None and minimum < self.min:
+                self.min = float(minimum)
+            if maximum is not None and maximum > self.max:
+                self.max = float(maximum)
 
     @property
     def mean(self) -> float:
@@ -106,13 +140,20 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._instruments: Dict[str, Instrument] = {}
+        self._lock = threading.Lock()
 
     def _get(self, name: str, cls) -> Instrument:
         instrument = self._instruments.get(name)
         if instrument is None:
-            instrument = cls(name)
-            self._instruments[name] = instrument
-        elif not isinstance(instrument, cls):
+            # Creation is locked so two threads racing on a fresh name
+            # get the *same* instrument (a lost instrument loses every
+            # update ever made through it).
+            with self._lock:
+                instrument = self._instruments.get(name)
+                if instrument is None:
+                    instrument = cls(name)
+                    self._instruments[name] = instrument
+        if not isinstance(instrument, cls):
             raise TypeError(
                 f"metric {name!r} already registered as "
                 f"{type(instrument).__name__}, not {cls.__name__}"
@@ -136,10 +177,34 @@ class MetricsRegistry:
 
     def snapshot(self) -> Dict[str, Dict[str, Any]]:
         """``{name: instrument.snapshot()}`` for every instrument."""
-        return {
-            name: inst.snapshot()
-            for name, inst in sorted(self._instruments.items())
-        }
+        with self._lock:
+            instruments = sorted(self._instruments.items())
+        return {name: inst.snapshot() for name, inst in instruments}
+
+    def merge_snapshot(
+        self, snapshot: Mapping[str, Mapping[str, Any]]
+    ) -> None:
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        Counters add their totals, gauges take the incoming value
+        (last-writer-wins, same as ``set``), histograms merge their
+        summary statistics.  This is how the legalization service folds
+        each request's private registry into the long-lived registry its
+        ``/metrics`` endpoint exports.
+        """
+        for name, snap in snapshot.items():
+            kind = snap.get("type")
+            if kind == "counter":
+                self.counter(name).inc(float(snap.get("value", 0.0)))
+            elif kind == "gauge":
+                self.gauge(name).set(float(snap.get("value", 0.0)))
+            elif kind == "histogram":
+                self.histogram(name).merge(
+                    int(snap.get("count", 0)),
+                    float(snap.get("sum", 0.0)),
+                    snap.get("min"),
+                    snap.get("max"),
+                )
 
 
 class _NullInstrument:
@@ -161,6 +226,9 @@ class _NullInstrument:
         pass
 
     def observe(self, value: float) -> None:
+        pass
+
+    def merge(self, count, total, minimum, maximum) -> None:
         pass
 
     def snapshot(self) -> Dict[str, Any]:
@@ -192,6 +260,9 @@ class NullMetricsRegistry:
 
     def snapshot(self) -> Dict[str, Dict[str, Any]]:
         return {}
+
+    def merge_snapshot(self, snapshot) -> None:
+        pass
 
 
 NULL_METRICS = NullMetricsRegistry()

@@ -4,10 +4,12 @@ A :class:`TelemetrySession` bundles the three collectors — a
 :class:`~repro.telemetry.tracer.Tracer`, a
 :class:`~repro.telemetry.metrics.MetricsRegistry`, and an
 :class:`~repro.telemetry.events.EventSink` — behind one ``enabled`` flag.
-Exactly one session is *current* at a time; instrumented code asks for it
-via :func:`current_session` (or :func:`current_tracer`) and gets the
-shared no-op implementations when telemetry is off, so the default cost
-of instrumentation is a dict-free attribute lookup.
+Exactly one session is *current* per execution context (thread / asyncio
+task — the ambient slot is a :mod:`contextvars` variable, so concurrent
+flows each see their own); instrumented code asks for it via
+:func:`current_session` (or :func:`current_tracer`) and gets the shared
+no-op implementations when telemetry is off, so the default cost of
+instrumentation is a context-variable lookup.
 
 Typical use::
 
@@ -22,6 +24,7 @@ The module-level default is :data:`NULL_SESSION` (disabled).
 
 from __future__ import annotations
 
+import contextvars
 from contextlib import contextmanager
 from typing import Iterator, Optional, TextIO
 
@@ -71,24 +74,33 @@ class TelemetrySession:
 #: The always-disabled default session.
 NULL_SESSION = TelemetrySession(enabled=False)
 
-_current: TelemetrySession = NULL_SESSION
+#: The ambient session is *context-local* (:mod:`contextvars`), not a
+#: process-global: every thread and every asyncio task sees its own
+#: session.  This is what makes concurrent ``legalize()`` calls safe —
+#: the legalization service runs one session per request on a worker
+#: thread, and none of them can clobber another's tracer.  Note that a
+#: newly spawned thread starts from the *default* (disabled) session, not
+#: its parent's: install a session inside the worker if it should record.
+_current: contextvars.ContextVar[TelemetrySession] = contextvars.ContextVar(
+    "repro_telemetry_session", default=NULL_SESSION
+)
 
 
 def current_session() -> TelemetrySession:
     """The ambient session (the disabled :data:`NULL_SESSION` by default)."""
-    return _current
+    return _current.get()
 
 
 def current_tracer():
     """Shortcut for ``current_session().tracer``."""
-    return _current.tracer
+    return _current.get().tracer
 
 
 def set_session(session: Optional[TelemetrySession]) -> TelemetrySession:
-    """Install *session* (None means disable) and return the previous one."""
-    global _current
-    previous = _current
-    _current = session if session is not None else NULL_SESSION
+    """Install *session* (None means disable) in the current context and
+    return the previous one."""
+    previous = _current.get()
+    _current.set(session if session is not None else NULL_SESSION)
     return previous
 
 
@@ -117,6 +129,7 @@ def active_tracer() -> Tracer:
     the subsystem): time against a real tracer always, and the spans land
     in the ambient trace exactly when a session is active.
     """
-    if _current.enabled:
-        return _current.tracer
+    current = _current.get()
+    if current.enabled:
+        return current.tracer
     return Tracer()

@@ -1,0 +1,152 @@
+"""Cross-design stacked solves (legalize_many) vs solo runs.
+
+The load-bearing invariant: merging designs into one block-diagonal
+batched solve is *exact* — positions are bit-identical to legalizing
+each design alone, warm or cold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.benchgen.generator import generate_benchmark
+from repro.core import (
+    DesignJob,
+    LegalizerConfig,
+    SolverState,
+    legalize,
+    legalize_many,
+)
+from repro import telemetry
+
+
+def positions(design):
+    return [(c.name, c.x, c.y, c.flipped) for c in design.cells]
+
+
+def make_designs():
+    return [
+        generate_benchmark("fft_2", scale=0.008, seed=s) for s in (1, 2, 3)
+    ]
+
+
+def test_merged_positions_bit_identical_to_solo():
+    """Default configs: solo runs shard at min_shard_variables=256 while
+    the merged path micro-shards, so per-component early stopping makes
+    the raw z differ below tol — but *positions* must be bit-identical
+    (Tetris site-snapping is exactly why the default tol is loose)."""
+    solo_designs = make_designs()
+    for d in solo_designs:
+        legalize(d)
+    merged_designs = make_designs()
+    merged_results = legalize_many(merged_designs)
+    for sd, md, mr in zip(solo_designs, merged_designs, merged_results):
+        assert positions(sd) == positions(md)
+        assert mr.audit_clean
+        assert mr.stage_seconds  # prepare + mmsim + finish all timed
+
+
+def test_merged_kkt_solution_bit_identical_with_matching_sharding():
+    """With the solo reference on the same micro-shard batched engine the
+    merged solve is bitwise exact, z included: stacking across designs
+    only changes which group a shard sweeps in (the PR-4 invariant)."""
+    cfg = LegalizerConfig(batch_micro_shards=True)
+    solo_designs = make_designs()
+    solo_results = [legalize(d, config=cfg) for d in solo_designs]
+    merged_designs = make_designs()
+    merged_results = legalize_many(
+        [DesignJob(design=d, config=cfg) for d in merged_designs]
+    )
+    for sd, md, sr, mr in zip(
+        solo_designs, merged_designs, solo_results, merged_results
+    ):
+        assert positions(sd) == positions(md)
+        np.testing.assert_array_equal(sr.kkt_solution, mr.kkt_solution)
+
+
+def test_merged_warm_start_bit_identical_to_solo():
+    base = generate_benchmark("fft_2", scale=0.008, seed=5)
+    cold = legalize(base)
+    state = SolverState.from_result(base, cold)
+
+    solo_design = generate_benchmark("fft_2", scale=0.008, seed=5)
+    solo_result = legalize(solo_design, warm_start_z=state)
+    merged_design = generate_benchmark("fft_2", scale=0.008, seed=5)
+    (merged_result,) = legalize_many(
+        [DesignJob(design=merged_design, warm_state=state)]
+    )
+    assert merged_result.warm_start == "state"
+    assert positions(solo_design) == positions(merged_design)
+    assert merged_result.iterations == solo_result.iterations
+
+
+def test_warm_and_cold_jobs_solve_in_separate_groups():
+    base = generate_benchmark("fft_2", scale=0.008, seed=5)
+    state = SolverState.from_result(base, legalize(base))
+
+    warm_design = generate_benchmark("fft_2", scale=0.008, seed=5)
+    cold_design = generate_benchmark("fft_2", scale=0.008, seed=6)
+    warm_res, cold_res = legalize_many(
+        [
+            DesignJob(design=warm_design, warm_state=state),
+            DesignJob(design=cold_design),
+        ]
+    )
+    assert warm_res.warm_start == "state"
+    assert cold_res.warm_start == "gp"
+    # The warm job re-solves an already-solved design: a handful of
+    # sweeps.  Sharing a seed vector (and a group iteration count) with
+    # the cold job would destroy this, which is why the groups split.
+    assert warm_res.iterations <= 5
+    assert warm_res.audit_clean and cold_res.audit_clean
+
+
+def test_stale_state_rejected_in_merged_path():
+    other = generate_benchmark("fft_2", scale=0.01, seed=9)
+    state = SolverState.from_result(other, legalize(other))
+    design = generate_benchmark("fft_2", scale=0.008, seed=5)
+    with pytest.warns(Warning, match="stale"):
+        (result,) = legalize_many([DesignJob(design=design, warm_state=state)])
+    assert result.warm_start == "gp"
+    assert result.warm_start_rejected is not None
+    assert result.audit_clean
+
+
+def test_non_mergeable_config_falls_back_to_solo():
+    designs = make_designs()[:2]
+    cfg = LegalizerConfig(shard=False)  # monolithic: excluded from merging
+    results = legalize_many([DesignJob(design=d, config=cfg) for d in designs])
+    assert all(r.audit_clean for r in results)
+    solo_designs = make_designs()[:2]
+    for d in solo_designs:
+        legalize(d, config=cfg)
+    assert [positions(d) for d in designs] == [
+        positions(d) for d in solo_designs
+    ]
+
+
+def test_plain_designs_and_empty_input():
+    assert legalize_many([]) == []
+    design = generate_benchmark("fft_2", scale=0.005, seed=2)
+    (result,) = legalize_many([design])  # bare Design is wrapped
+    assert result.audit_clean
+
+
+def test_merge_false_matches_merge_true():
+    a = make_designs()
+    ra = legalize_many(a, merge=True)
+    b = make_designs()
+    rb = legalize_many(b, merge=False)
+    for da, db in zip(a, b):
+        assert positions(da) == positions(db)
+    assert [r.audit_clean for r in ra] == [r.audit_clean for r in rb]
+
+
+def test_merged_run_emits_batch_metrics():
+    with telemetry.session() as tel:
+        legalize_many(make_designs())
+    snap = tel.metrics.snapshot()
+    assert snap["mmsim.solves"]["value"] >= 1
+    assert any(name.startswith("batch.") for name in snap)
+    assert snap["legalizer.cells_moved"]["value"] > 0

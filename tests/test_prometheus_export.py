@@ -1,0 +1,87 @@
+"""Prometheus text exposition of the metrics subsystem."""
+
+from __future__ import annotations
+
+import math
+
+from repro import telemetry
+from repro.benchgen.generator import generate_benchmark
+from repro.core import legalize
+from repro.telemetry import MetricsRegistry, prometheus_text
+from repro.telemetry.export import _prom_name, _prom_value
+
+
+def test_name_sanitization():
+    assert _prom_name("mmsim.iterations", "repro") == "repro_mmsim_iterations"
+    assert (
+        _prom_name("resilience.win.mmsim_safe", "repro")
+        == "repro_resilience_win_mmsim_safe"
+    )
+    assert _prom_name("weird-metric!", "") == "weird_metric_"
+    assert _prom_name("9lives", "") == "_9lives"
+
+
+def test_value_formatting():
+    assert _prom_value(3) == "3"
+    assert _prom_value(3.0) == "3"
+    assert _prom_value(3.5) == "3.5"
+    assert _prom_value(math.inf) == "+Inf"
+    assert _prom_value(-math.inf) == "-Inf"
+    assert _prom_value(float("nan")) == "NaN"
+    assert _prom_value("junk") == "NaN"
+
+
+def test_counter_gauge_histogram_rendering():
+    registry = MetricsRegistry()
+    registry.counter("reqs.total").inc(5)
+    registry.gauge("queue.depth").set(2)
+    registry.histogram("lat.seconds").observe(0.5)
+    registry.histogram("lat.seconds").observe(1.5)
+    text = prometheus_text(registry)
+    assert "# TYPE repro_reqs_total counter" in text
+    assert "repro_reqs_total 5" in text
+    assert "# TYPE repro_queue_depth gauge" in text
+    assert "repro_queue_depth 2" in text
+    assert "# TYPE repro_lat_seconds summary" in text
+    assert "repro_lat_seconds_count 2" in text
+    assert "repro_lat_seconds_sum 2" in text
+    assert "repro_lat_seconds_min 0.5" in text
+    assert "repro_lat_seconds_max 1.5" in text
+    # Original dotted names survive in HELP for traceability.
+    assert "# HELP repro_reqs_total repro metric 'reqs.total'" in text
+    assert text.endswith("\n")
+
+
+def test_empty_histogram_renders_without_min_max():
+    registry = MetricsRegistry()
+    registry.histogram("empty.hist")
+    text = prometheus_text(registry)
+    assert "repro_empty_hist_count 0" in text
+    assert "repro_empty_hist_min" not in text
+
+
+def test_empty_source_renders_empty():
+    assert prometheus_text(MetricsRegistry()) == ""
+    assert prometheus_text({}) == ""
+
+
+def test_namespace_override():
+    registry = MetricsRegistry()
+    registry.counter("x").inc()
+    assert "svc_x 1" in prometheus_text(registry, namespace="svc")
+
+
+def test_session_and_snapshot_sources_agree():
+    with telemetry.session() as tel:
+        tel.metrics.counter("a").inc(2)
+    assert prometheus_text(tel) == prometheus_text(tel.metrics.snapshot())
+
+
+def test_real_run_exports_solver_families():
+    design = generate_benchmark("fft_2", scale=0.005, seed=4)
+    with telemetry.session() as tel:
+        legalize(design)
+    text = prometheus_text(tel)
+    assert "repro_mmsim_iterations" in text
+    assert "repro_mmsim_solves 1" in text
+    assert "repro_legalizer_cells_moved" in text

@@ -1,0 +1,280 @@
+"""End-to-end tests of the legalization service (`repro serve`).
+
+Each test boots a real server on an ephemeral port in a background
+thread and talks to it over HTTP with the stdlib client — the same path
+production traffic takes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from contextlib import contextmanager, suppress
+
+import pytest
+
+from repro import cli
+from repro.benchgen.generator import generate_benchmark
+from repro.io.jsonio import load_design, save_design
+from repro.service import (
+    LegalizationServer,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+)
+
+
+@contextmanager
+def running_server(**cfg_kwargs):
+    cfg_kwargs.setdefault("port", 0)
+    server = LegalizationServer(ServiceConfig(**cfg_kwargs))
+    ready = threading.Event()
+    thread = threading.Thread(
+        target=lambda: asyncio.run(
+            server.serve(on_ready=lambda s: ready.set())
+        ),
+        daemon=True,
+    )
+    thread.start()
+    assert ready.wait(10), "server did not start"
+    client = ServiceClient("127.0.0.1", server.port)
+    client.wait_ready()
+    try:
+        yield server, client, thread
+    finally:
+        if thread.is_alive():
+            with suppress(Exception):
+                client.shutdown()
+            thread.join(30)
+        assert not thread.is_alive(), "server thread did not drain"
+
+
+def make_design(seed: int = 7, scale: float = 0.01):
+    return generate_benchmark("fft_2", scale=scale, seed=seed)
+
+
+def perturb(design, cells: int = 5, dx: float = 0.05) -> None:
+    for cell in list(design.movable_cells)[:cells]:
+        cell.gp_x += dx
+
+
+# ---------------------------------------------------------------- happy path
+def test_cold_then_warm_then_stale():
+    with running_server() as (server, client, _):
+        r1 = client.legalize(make_design(), key="top")
+        assert r1.ok and r1.cache == "miss" and r1.warm_start == "gp"
+        assert r1.audit_clean and r1.converged
+
+        nudged = make_design()
+        perturb(nudged)
+        r2 = client.legalize(nudged, key="top")
+        assert r2.cache == "hit" and r2.warm_start == "state"
+        assert r2.iterations <= 5  # warm ECO resubmit: a handful of sweeps
+        assert r2.audit_clean
+
+        different = make_design(seed=9, scale=0.01)
+        r3 = client.legalize(different, key="top")
+        assert r3.cache == "stale" and r3.warm_start == "gp"
+        assert r3.warm_start_rejected  # the reason is spelled out
+        assert r3.audit_clean
+
+        stats = client.stats()
+        counters = stats["counters"]
+        assert counters["service.cache_misses"] == 1
+        assert counters["service.cache_hits"] == 1
+        assert counters["service.cache_stale"] == 1
+        assert stats["store"]["entries"] == 1
+
+
+def test_service_positions_match_offline_state_cli(tmp_path):
+    """The acceptance invariant: cold submit + perturbed warm resubmit
+    through the service produce positions bit-identical to the same
+    sequence run offline via ``repro legalize --state``."""
+    cold_path = tmp_path / "cold.json"
+    warm_path = tmp_path / "warm.json"
+    save_design(make_design(), str(cold_path))
+    nudged = make_design()
+    perturb(nudged)
+    save_design(nudged, str(warm_path))
+
+    state = tmp_path / "state.npz"
+    off_cold = tmp_path / "off_cold.json"
+    off_warm = tmp_path / "off_warm.json"
+    assert cli.main(
+        ["legalize", str(cold_path), "--state", str(state),
+         "--output", str(off_cold)]
+    ) == 0
+    assert cli.main(
+        ["legalize", str(warm_path), "--state", str(state),
+         "--output", str(off_warm)]
+    ) == 0
+
+    with running_server() as (_, client, __):
+        svc_cold = load_design(str(cold_path))
+        r1 = client.legalize(svc_cold, key="eco")
+        client.apply(svc_cold, r1)
+        svc_warm = load_design(str(warm_path))
+        r2 = client.legalize(svc_warm, key="eco")
+        client.apply(svc_warm, r2)
+
+    assert r1.cache == "miss" and r2.cache == "hit"
+    assert r2.warm_start == "state" and r2.iterations <= 5
+    for served, offline_path in (
+        (svc_cold, off_cold),
+        (svc_warm, off_warm),
+    ):
+        offline = load_design(str(offline_path))
+        assert [(c.name, c.x, c.y, c.flipped) for c in served.cells] == [
+            (c.name, c.x, c.y, c.flipped) for c in offline.cells
+        ]
+
+
+def test_warm_bypass_and_store_opt_out():
+    with running_server() as (_, client, __):
+        client.legalize(make_design(), key="k")
+        r = client.legalize(make_design(), key="k", warm=False)
+        assert r.cache == "bypass" and r.warm_start == "gp"
+
+        r = client.legalize(make_design(seed=11), key="fresh",
+                            store_state=False)
+        assert r.cache == "miss"
+        r = client.legalize(make_design(seed=11), key="fresh")
+        assert r.cache == "miss"  # nothing was stored
+
+
+def test_concurrent_submissions_share_batches():
+    with running_server(batch_window_seconds=0.5, max_batch=8) as (
+        _,
+        client,
+        __,
+    ):
+        designs = [make_design(seed=s, scale=0.005) for s in range(4)]
+        results = [None] * 4
+
+        def submit(i):
+            results[i] = client.legalize(designs[i], key=f"d{i}")
+
+        threads = [
+            threading.Thread(target=submit, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60)
+        assert all(r is not None and r.ok and r.audit_clean for r in results)
+        counters = client.stats()["counters"]
+        assert counters["service.requests"] == 4
+        # All four arrive well inside the 0.5 s accumulation window, so
+        # they ride one or two stacked solves, not four.
+        assert counters["service.batches"] <= 2
+
+
+# ---------------------------------------------------------------- protection
+def test_backpressure_full_queue_answers_429():
+    with running_server(queue_limit=2, batch_window_seconds=0.1) as (
+        server,
+        client,
+        _,
+    ):
+        # Freeze the batcher so the queue can only fill.
+        server._loop.call_soon_threadsafe(server._batcher_task.cancel)
+        time.sleep(0.2)
+
+        def doomed():
+            with suppress(ServiceError):
+                client.legalize(make_design(), key="q", deadline_seconds=1.0)
+
+        fillers = [threading.Thread(target=doomed) for _ in range(2)]
+        for t in fillers:
+            t.start()
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline:
+            if client.healthz()["queue_depth"] >= 2:
+                break
+            time.sleep(0.02)
+        with pytest.raises(ServiceError) as excinfo:
+            client.legalize(make_design(), key="overflow")
+        assert excinfo.value.status == 429
+        assert excinfo.value.retriable
+        for t in fillers:
+            t.join(10)  # their deadlines expire with 504s
+        counters = client.stats()["counters"]
+        assert counters["service.rejected_busy"] >= 1
+        assert counters["service.deadline_timeouts"] >= 2
+
+
+def test_deadline_expiry_answers_504():
+    with running_server(batch_window_seconds=0.4) as (_, client, __):
+        with pytest.raises(ServiceError) as excinfo:
+            client.legalize(make_design(), key="late",
+                            deadline_seconds=0.05)
+        assert excinfo.value.status == 504
+        assert client.stats()["counters"]["service.deadline_timeouts"] == 1
+
+
+def test_draining_rejects_new_work_with_503():
+    with running_server() as (server, client, _):
+        server._draining = True
+        with pytest.raises(ServiceError) as excinfo:
+            client.legalize(make_design(), key="x")
+        assert excinfo.value.status == 503
+        assert excinfo.value.retriable
+        assert client.healthz()["status"] == "draining"
+        server._draining = False  # let the fixture shut down normally
+
+
+def test_shutdown_drains_in_flight_jobs():
+    with running_server(batch_window_seconds=0.4) as (_, client, thread):
+        result = {}
+
+        def submit():
+            result["r"] = client.legalize(make_design(), key="inflight")
+
+        t = threading.Thread(target=submit)
+        t.start()
+        time.sleep(0.1)  # job is queued, still inside the batch window
+        client.shutdown()
+        t.join(30)
+        thread.join(30)
+        assert not thread.is_alive()
+        assert result["r"].ok and result["r"].audit_clean
+    with pytest.raises(OSError):
+        ServiceClient("127.0.0.1", client.port).healthz()
+
+
+# ---------------------------------------------------------------- plumbing
+def test_http_error_paths():
+    with running_server() as (_, client, __):
+        status, _, _ = client._http("GET", "/nope", None)
+        assert status == 404
+        status, _, _ = client._http("GET", "/legalize", None)
+        assert status == 405
+        status, payload, _ = client._http("POST", "/legalize", {"bad": 1})
+        assert status == 400 and "design" in payload["error"]
+
+
+def test_metrics_and_stats_endpoints():
+    with running_server() as (_, client, __):
+        client.legalize(make_design(), key="m")
+        text = client.metrics_text()
+        for family in (
+            "repro_service_requests",
+            "repro_service_request_seconds_count",
+            "repro_service_store_entries",
+            "repro_resilience_escalated_shards",
+            "repro_batch_shards",
+            "repro_mmsim_iterations",
+        ):
+            assert family in text, f"{family} missing from /metrics"
+        assert "# TYPE repro_service_requests counter" in text
+
+        stats = client.stats()
+        assert stats["status"] == "ok"
+        assert stats["latency_seconds"]["count"] == 1
+        assert stats["latency_seconds"]["p50"] is not None
+        assert stats["responses_by_status"].get("200", 0) or stats[
+            "responses_by_status"
+        ].get(200, 0)
+        health = client.healthz()
+        assert health["status"] == "ok" and health["queue_limit"] == 64

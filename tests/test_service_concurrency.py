@@ -1,0 +1,191 @@
+"""Thread-safety of the pieces the service leans on: context-local
+telemetry sessions, locked metrics instruments, snapshot merging, and
+fully concurrent ``legalize()`` calls sharing one LegalizerConfig."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import telemetry
+from repro.benchgen.generator import generate_benchmark
+from repro.core import LegalizerConfig, legalize
+from repro.telemetry import MetricsRegistry, current_session
+
+
+# ------------------------------------------------------------- primitives
+def test_sessions_are_thread_local():
+    """A session installed on one thread must be invisible to others —
+    and a fresh thread starts from the disabled default."""
+    seen = {}
+
+    def worker():
+        seen["worker"] = current_session().enabled
+
+    with telemetry.session():
+        assert current_session().enabled
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+    assert seen["worker"] is False
+
+
+def test_concurrent_sessions_do_not_clobber_each_other():
+    """N threads each run under their own session; every session must
+    end up with exactly its own thread's metrics."""
+    registries = {}
+    barrier = threading.Barrier(4)
+    errors = []
+
+    def worker(tid: int) -> None:
+        try:
+            with telemetry.session() as tel:
+                barrier.wait(timeout=10)
+                for _ in range(100):
+                    tel_now = current_session()
+                    assert tel_now is tel  # nobody swapped our session
+                    tel_now.metrics.counter("work").inc()
+                registries[tid] = tel.metrics.snapshot()
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    for tid in range(4):
+        assert registries[tid]["work"]["value"] == 100
+
+
+def test_metrics_instruments_survive_a_hammer():
+    """Concurrent inc/observe on shared instruments must not lose
+    updates (value += x is a read-modify-write even under the GIL)."""
+    registry = MetricsRegistry()
+    threads_n, per_thread = 8, 2000
+    barrier = threading.Barrier(threads_n)
+
+    def worker() -> None:
+        barrier.wait(timeout=10)
+        counter = registry.counter("hits")
+        gauge = registry.gauge("level")
+        hist = registry.histogram("lat")
+        for i in range(per_thread):
+            counter.inc()
+            gauge.inc()
+            hist.observe(float(i % 10))
+
+    threads = [threading.Thread(target=worker) for _ in range(threads_n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    total = threads_n * per_thread
+    snap = registry.snapshot()
+    assert snap["hits"]["value"] == total
+    assert snap["level"]["value"] == total
+    assert snap["lat"]["count"] == total
+    assert snap["lat"]["min"] == 0.0 and snap["lat"]["max"] == 9.0
+
+
+def test_racing_instrument_creation_yields_one_instrument():
+    registry = MetricsRegistry()
+    barrier = threading.Barrier(8)
+    seen = []
+
+    def worker() -> None:
+        barrier.wait(timeout=10)
+        for i in range(50):
+            c = registry.counter(f"metric.{i}")
+            c.inc()
+            seen.append((i, id(c)))
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    by_name = {}
+    for i, ident in seen:
+        by_name.setdefault(i, set()).add(ident)
+    assert all(len(ids) == 1 for ids in by_name.values())
+    snap = registry.snapshot()
+    for i in range(50):
+        assert snap[f"metric.{i}"]["value"] == 8
+
+
+def test_merge_snapshot_folds_counters_gauges_histograms():
+    a = MetricsRegistry()
+    a.counter("c").inc(3)
+    a.gauge("g").set(7)
+    a.histogram("h").observe(1.0)
+    a.histogram("h").observe(5.0)
+
+    service = MetricsRegistry()
+    service.counter("c").inc(10)
+    service.histogram("h").observe(9.0)
+    service.merge_snapshot(a.snapshot())
+
+    snap = service.snapshot()
+    assert snap["c"]["value"] == 13
+    assert snap["g"]["value"] == 7
+    assert snap["h"]["count"] == 3
+    assert snap["h"]["min"] == 1.0 and snap["h"]["max"] == 9.0
+    # Merging an empty histogram must not poison min/max.
+    service.merge_snapshot(MetricsRegistry().snapshot())
+    assert service.snapshot()["h"]["min"] == 1.0
+
+
+# ------------------------------------------------------------- legalize()
+@pytest.mark.parametrize("with_sessions", [False, True])
+def test_concurrent_legalize_matches_serial(with_sessions):
+    """The service's core assumption: N concurrent legalize() calls on
+    worker threads — sharing one LegalizerConfig instance — produce
+    exactly the positions a serial run produces."""
+    seeds = [1, 2, 3, 4]
+    serial = []
+    for s in seeds:
+        d = generate_benchmark("fft_2", scale=0.006, seed=s)
+        legalize(d)
+        serial.append([(c.name, c.x, c.y, c.flipped) for c in d.cells])
+
+    shared_config = LegalizerConfig()
+    designs = [
+        generate_benchmark("fft_2", scale=0.006, seed=s) for s in seeds
+    ]
+    snapshots = [None] * len(seeds)
+    errors = []
+    barrier = threading.Barrier(len(seeds))
+
+    def worker(i: int) -> None:
+        try:
+            barrier.wait(timeout=10)
+            if with_sessions:
+                with telemetry.session() as tel:
+                    result = legalize(designs[i], config=shared_config)
+                    assert result.audit_clean
+                    snapshots[i] = tel.metrics.snapshot()
+            else:
+                result = legalize(designs[i], config=shared_config)
+                assert result.audit_clean
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,))
+        for i in range(len(seeds))
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    for d, expected in zip(designs, serial):
+        assert [(c.name, c.x, c.y, c.flipped) for c in d.cells] == expected
+    if with_sessions:
+        # Each thread's private session saw exactly one run's metrics.
+        for snap in snapshots:
+            assert snap is not None
+            assert snap["mmsim.solves"]["value"] == 1
