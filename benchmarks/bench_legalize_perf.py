@@ -20,6 +20,18 @@ Two kinds of profile:
   checks the engine's bit-identity contract: final cell positions must
   match the per-shard path exactly, not just within tolerance.
 
+* ``eco`` — the incremental setup-reuse story (same blockage-heavy
+  designs): a cold run populates a
+  :class:`~repro.core.setup_cache.ReuseCache`, an **unchanged** rebuild
+  of the same design re-runs with the cache (positions must be
+  bit-identical, and ``splitting + build_qp`` must collapse — the
+  ``setup_ratio`` the CI gate bounds at 25%), then ``perturb_fraction``
+  of the cells get their GP x nudged and the design re-runs once more
+  with the cache plus the cold run's persisted ``SolverState`` (the real
+  ECO resubmit: dirty components rebuild, the rest ride the cache).
+  Reports land in ``BENCH_legalize_eco.json`` by default so the micro
+  baseline is never clobbered.
+
 Each config records wall time, iteration counts, the per-stage breakdown
 from the legalizer's telemetry spans, and ``solver_s`` — the
 splitting + mmsim stage seconds, i.e. the part of the flow the sharded /
@@ -50,6 +62,8 @@ import numpy as np
 
 from repro.benchgen import generate_benchmark, make_benchmark
 from repro.core.legalizer import LegalizerConfig, MMSIMLegalizer
+from repro.core.setup_cache import ReuseCache
+from repro.core.state import SolverState
 from repro.legality import check_legality
 
 BENCH = "fft_2"
@@ -65,6 +79,15 @@ PROFILES = {
         "reps": 2,
         "blockage": 0.15,
         "batched": True,
+    },
+    # Incremental setup reuse: cold run -> unchanged re-run with the
+    # ReuseCache -> perturb a fraction of cells -> re-run again.
+    "eco": {
+        "scales": [0.2, 0.4],
+        "reps": 2,
+        "blockage": 0.15,
+        "eco": True,
+        "perturb": 0.05,
     },
 }
 
@@ -111,6 +134,130 @@ def _run_config(
             ),
         }
         if best is None or wall < best["wall_s"]:
+            best = record
+    assert best is not None
+    return best
+
+
+def _eco_phase(design, result, wall: float) -> Dict:
+    """One eco phase's record (cold / incremental / perturbed)."""
+    stages = {k: round(v, 6) for k, v in result.stage_seconds.items()}
+    return {
+        "wall_s": wall,
+        "setup_s": round(
+            result.stage_seconds.get("splitting", 0.0)
+            + result.stage_seconds.get("build_qp", 0.0),
+            6,
+        ),
+        "solver_s": round(
+            result.stage_seconds.get("splitting", 0.0)
+            + result.stage_seconds.get("mmsim", 0.0),
+            6,
+        ),
+        "iterations": result.iterations,
+        "converged": result.converged,
+        "stages_s": stages,
+        "legal": check_legality(design).is_legal,
+        "displacement_sites": result.displacement.total_manhattan_sites,
+        "positions": np.array([(c.x, c.y) for c in design.movable_cells]),
+    }
+
+
+def _perturb_cells(design, fraction: float, seed: int) -> int:
+    """Nudge ``fraction`` of the movable cells' GP x by up to ±2 sites."""
+    rng = np.random.default_rng(seed)
+    cells = design.movable_cells
+    k = max(1, int(len(cells) * fraction))
+    picked = rng.choice(len(cells), size=k, replace=False)
+    for i in picked:
+        cells[int(i)].gp_x += (
+            float(rng.uniform(-2.0, 2.0)) * design.core.site_width
+        )
+    return k
+
+
+def _run_eco_scale(
+    cfg: LegalizerConfig,
+    scale: float,
+    reps: int,
+    blockage: Optional[float],
+    perturb: float,
+) -> Dict:
+    """Best-of-``reps`` cold → unchanged re-run → perturbed re-run trio.
+
+    Each rep uses its own fresh :class:`ReuseCache` so every "cold" leg
+    really is cold; the rep with the best (smallest) unchanged-re-run
+    setup ratio is kept — same best-of-N convention as the other
+    profiles, applied to the metric the gate bounds.
+    """
+    best: Optional[Dict] = None
+    for _ in range(reps):
+        reuse = ReuseCache()
+
+        cold_design = _make_design(scale, blockage)
+        t0 = time.perf_counter()
+        cold_result = MMSIMLegalizer(cfg).legalize(cold_design, reuse=reuse)
+        cold = _eco_phase(
+            cold_design, cold_result, time.perf_counter() - t0
+        )
+        cold_stats = dict(reuse.stats)
+        warm_state = SolverState.from_result(cold_design, cold_result)
+
+        inc_design = _make_design(scale, blockage)
+        t0 = time.perf_counter()
+        inc_result = MMSIMLegalizer(cfg).legalize(inc_design, reuse=reuse)
+        incremental = _eco_phase(
+            inc_design, inc_result, time.perf_counter() - t0
+        )
+        inc_stats = {
+            k: reuse.stats[k] - cold_stats[k] for k in reuse.stats
+        }
+
+        pert_design = _make_design(scale, blockage)
+        perturbed_cells = _perturb_cells(pert_design, perturb, SEED)
+        pre_stats = dict(reuse.stats)
+        t0 = time.perf_counter()
+        pert_result = MMSIMLegalizer(cfg).legalize(
+            pert_design, warm_start_z=warm_state, reuse=reuse
+        )
+        perturbed = _eco_phase(
+            pert_design, pert_result, time.perf_counter() - t0
+        )
+        pert_stats = {
+            k: reuse.stats[k] - pre_stats[k] for k in reuse.stats
+        }
+        trust = reuse.last_trust
+
+        ratio = (
+            incremental["setup_s"] / cold["setup_s"]
+            if cold["setup_s"] > 0
+            else 0.0
+        )
+        record = {
+            "num_cells": cold_design.num_cells,
+            "num_variables": cold_result.num_variables,
+            "num_constraints": cold_result.num_constraints,
+            "cold": cold,
+            "incremental": incremental,
+            "incremental_perturbed": perturbed,
+            "setup_ratio": round(ratio, 4),
+            "reuse_bit_identical": bool(
+                np.array_equal(
+                    incremental["positions"], cold["positions"]
+                )
+            ),
+            "cache_incremental": inc_stats,
+            "cache_perturbed": pert_stats,
+            "perturbed_cells": perturbed_cells,
+            "perturbed_dirty_components": (
+                int(trust.dirty_components) if trust is not None else None
+            ),
+            "perturbed_clean_components": (
+                int(trust.clean_components) if trust is not None else None
+            ),
+            "perturbed_warm_start": pert_result.warm_start,
+        }
+        if best is None or record["setup_ratio"] < best["setup_ratio"]:
             best = record
     assert best is not None
     return best
@@ -195,6 +342,49 @@ def run_profile(profile: str, parallel: bool, parity_tol: float) -> Dict:
                 f"bit-identical {'yes' if bit_identical else 'NO'}  "
                 f"parity {'ok' if parity['ok'] else 'FAIL'}"
             )
+    elif spec.get("eco"):
+        cfg = LegalizerConfig(parallel=parallel)
+        for scale in spec["scales"]:
+            rec = _run_eco_scale(
+                cfg, scale, spec["reps"], blockage, spec["perturb"]
+            )
+            diverged = diverged or not rec["reuse_bit_identical"]
+            runs.append(
+                {
+                    "scale": scale,
+                    "num_cells": rec["num_cells"],
+                    "num_variables": rec["num_variables"],
+                    "num_constraints": rec["num_constraints"],
+                    "cold": _strip(rec["cold"]),
+                    "incremental": _strip(rec["incremental"]),
+                    "incremental_perturbed": _strip(
+                        rec["incremental_perturbed"]
+                    ),
+                    "setup_ratio": rec["setup_ratio"],
+                    "reuse_bit_identical": rec["reuse_bit_identical"],
+                    "cache_incremental": rec["cache_incremental"],
+                    "cache_perturbed": rec["cache_perturbed"],
+                    "perturbed_cells": rec["perturbed_cells"],
+                    "perturbed_dirty_components": rec[
+                        "perturbed_dirty_components"
+                    ],
+                    "perturbed_clean_components": rec[
+                        "perturbed_clean_components"
+                    ],
+                    "perturbed_warm_start": rec["perturbed_warm_start"],
+                }
+            )
+            print(
+                f"scale {scale:<5} cells {rec['num_cells']:>6}  "
+                f"cold setup {rec['cold']['setup_s']:.4f}s  "
+                f"incremental setup {rec['incremental']['setup_s']:.4f}s  "
+                f"ratio {rec['setup_ratio']:.3f}  "
+                f"bit-identical "
+                f"{'yes' if rec['reuse_bit_identical'] else 'NO'}  "
+                f"perturbed dirty/clean "
+                f"{rec['perturbed_dirty_components']}/"
+                f"{rec['perturbed_clean_components']}"
+            )
     else:
         sharded_cfg = LegalizerConfig(parallel=parallel)
         legacy_cfg = LegalizerConfig(shard=False, fast_kernels=False)
@@ -230,6 +420,7 @@ def run_profile(profile: str, parallel: bool, parity_tol: float) -> Dict:
         "parallel": parallel,
         "reps": spec["reps"],
         "blockage_fraction": blockage,
+        "perturb_fraction": spec.get("perturb"),
         "parity_tol": parity_tol,
         "python": platform.python_version(),
         "numpy": np.__version__,
@@ -254,9 +445,18 @@ def main(argv: Optional[List[str]] = None) -> int:
              "1e-6; in practice the paths agree bit-for-bit)",
     )
     parser.add_argument(
-        "--output", default=os.path.join(repo_root, "BENCH_legalize.json")
+        "--output", default=None,
+        help="report path (default BENCH_legalize.json at the repo root, "
+             "or BENCH_legalize_eco.json for the eco profile)",
     )
     args = parser.parse_args(argv)
+    if args.output is None:
+        name = (
+            "BENCH_legalize_eco.json"
+            if args.profile == "eco"
+            else "BENCH_legalize.json"
+        )
+        args.output = os.path.join(repo_root, name)
 
     report = run_profile(args.profile, args.parallel, args.parity_tol)
     with open(args.output, "w") as fh:
@@ -271,7 +471,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("ERROR: configurations diverged")
         return 1
     largest = report["runs"][-1]
-    if "speedup_batched" in largest:
+    if "setup_ratio" in largest:
+        worst = max(r["setup_ratio"] for r in report["runs"])
+        print(
+            f"worst incremental setup ratio: {worst:.3f} "
+            f"(gate: <= 0.25); largest profile "
+            f"{largest['cold']['setup_s']:.4f}s -> "
+            f"{largest['incremental']['setup_s']:.4f}s setup"
+        )
+    elif "speedup_batched" in largest:
         print(
             f"largest profile: {largest['speedup_batched']:.2f}x solver "
             f"speedup ({largest['sharded']['solver_s']:.3f}s -> "

@@ -16,6 +16,14 @@ Correctness gates ride along: the run fails outright if the new report
 is marked diverged, or any micro-profile run lost batched-vs-per-shard
 bit-identity or batched-vs-sharded parity.
 
+Eco-profile reports (``BENCH_legalize_eco.json``) add two **in-report**
+gates that need no machine normalization because both numbers come from
+the same host in the same process: every run's ``setup_ratio``
+(incremental ``splitting + build_qp`` seconds over cold) must stay at or
+under ``--eco-limit`` (default 0.25), and the unchanged re-run must be
+bit-identical to the cold run.  The cross-report machine-normalized wall
+comparison still applies, over the cold/incremental/perturbed phases.
+
 Run:  python benchmarks/check_perf_regression.py NEW.json BENCH_legalize.json
 """
 
@@ -27,7 +35,14 @@ import statistics
 import sys
 from typing import Dict, List, Optional
 
-CONFIG_KEYS = ("legacy", "sharded", "batched")
+CONFIG_KEYS = (
+    "legacy",
+    "sharded",
+    "batched",
+    "cold",
+    "incremental",
+    "incremental_perturbed",
+)
 
 
 def _load(path: str) -> Dict:
@@ -60,7 +75,9 @@ def collect_ratios(new: Dict, base: Dict) -> List[Dict]:
     return ratios
 
 
-def check(new: Dict, base: Dict, threshold: float) -> int:
+def check(
+    new: Dict, base: Dict, threshold: float, eco_limit: float = 0.25
+) -> int:
     failures: List[str] = []
     if new.get("profile") != base.get("profile"):
         failures.append(
@@ -77,6 +94,24 @@ def check(new: Dict, base: Dict, threshold: float) -> int:
             )
         if "parity" in run and not run["parity"].get("ok", True):
             failures.append(f"scale {run['scale']}: parity check failed")
+        if "setup_ratio" in run:
+            print(
+                f"  scale {run['scale']:<5} incremental setup ratio "
+                f"{run['setup_ratio']:.3f} (limit {eco_limit:.2f})  "
+                f"reuse bit-identical "
+                f"{'yes' if run.get('reuse_bit_identical') else 'NO'}"
+            )
+            if run["setup_ratio"] > eco_limit:
+                failures.append(
+                    f"scale {run['scale']}: incremental setup ratio "
+                    f"{run['setup_ratio']:.3f} exceeds the "
+                    f"{eco_limit:.2f} reuse gate"
+                )
+            if not run.get("reuse_bit_identical", True):
+                failures.append(
+                    f"scale {run['scale']}: cached re-run is not "
+                    "bit-identical to the cold run"
+                )
 
     ratios = collect_ratios(new, base)
     if not ratios:
@@ -123,8 +158,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="allowed relative wall-clock regression after machine-factor "
              "normalization (default 0.2 = 20%%)",
     )
+    parser.add_argument(
+        "--eco-limit", type=float, default=0.25,
+        help="max allowed eco-profile setup_ratio (incremental over cold "
+             "splitting+build_qp seconds; in-report, machine-independent; "
+             "default 0.25)",
+    )
     args = parser.parse_args(argv)
-    return check(_load(args.new), _load(args.baseline), args.threshold)
+    return check(
+        _load(args.new), _load(args.baseline), args.threshold,
+        eco_limit=args.eco_limit,
+    )
 
 
 if __name__ == "__main__":

@@ -26,6 +26,7 @@ from repro.core.resilience import (
     solve_sharded_resilient,
 )
 from repro.core.row_assign import RowAssignment, assign_rows
+from repro.core.setup_cache import ReuseCache, SetupCache, TrustInfo
 from repro.core.state import (
     SolverState,
     StaleWarmStart,
@@ -66,6 +67,9 @@ __all__ = [
     "assign_rows",
     "RowAssignment",
     "InfeasibleAssignment",
+    "ReuseCache",
+    "SetupCache",
+    "TrustInfo",
     "SolverState",
     "StaleWarmStart",
     "design_fingerprint",

@@ -50,8 +50,9 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.setup_cache import combine_keys
 from repro.lcp.mmsim import MMSIMOptions, warm_start_from_z
-from repro.lcp.problem import LCPResult, make_kkt_lcp
+from repro.lcp.problem import LCP, LCPResult, make_kkt_lcp
 from repro.telemetry import current_session
 
 
@@ -158,8 +159,10 @@ class _GroupPack:
         omega = np.full(G, opts.damping)
         checkpoint = np.full(G, np.nan)
         rescued = np.zeros(G, dtype=bool)
-        s_init = self._initial_state(shards, s0, z0, n_global)
-        self._commit(shards, s_init, omega, checkpoint, rescued)
+        self._commit(shards, None, omega, checkpoint, rescued)
+        # Seed from the committed stack (reuses its LCP for the z0 path
+        # instead of slicing the blocks a second time).
+        self.s = self._initial_state(shards, s0, z0, n_global)
 
     # ------------------------------------------------------------------
     # Assembly
@@ -167,26 +170,65 @@ class _GroupPack:
     def _assemble(self, shards: List):
         """Build the stacked system for *shards*; raises
         :class:`_GroupFallback` before any state is committed when the
-        stacked kernels decline (probe-verification failure)."""
+        stacked kernels decline (probe-verification failure).
+
+        When every member shard is *trusted* by this run's setup-reuse
+        diff and the group's combined index key has a cached entry, the
+        stacked splitting and KKT matrix are reused bit-identically —
+        only ``q = [p; −b]`` rebuilds.  A cached splitting already passed
+        kernel probe verification when it was built, so the kernel gate
+        is skipped on a hit.  One hit/miss/stale is counted per stack
+        (the initial pack and each repack layout cache independently).
+        """
         from repro.core.splitting import LegalizationSplitting
 
         vi = np.concatenate([sh.variables for sh in shards])
         bi = np.concatenate([sh.b_rows for sh in shards])
-        ei = np.concatenate([sh.e_rows for sh in shards])
-        Hg, Bg, Eg = self.source.slice_blocks(vi, bi, ei)
-        splitting = LegalizationSplitting(
-            Hg, Bg, Eg, self.source.lam,
-            params=self.source.params, fast_kernels=True,
-        )
-        if splitting.top_kernel != "woodbury":
-            raise _GroupFallback("stacked top kernel fell back to SuperLU")
-        if splitting.m and splitting.bottom_kernel not in ("pttrs", "scalar"):
-            raise _GroupFallback(
-                f"stacked bottom kernel is {splitting.bottom_kernel}"
+        cache = getattr(self.source, "cache", None)
+        key = None
+        entry = None
+        trusted = False
+        if cache is not None:
+            keys = [sh.cache_key for sh in shards]
+            if all(k is not None for k in keys):
+                key = combine_keys(keys)
+                trusted = all(sh.trusted for sh in shards)
+                entry = cache.get(key)
+        if (
+            trusted
+            and entry is not None
+            and entry.splitting is not None
+            and entry.A is not None
+        ):
+            cache.record("hit")
+            splitting = entry.splitting
+            q = np.concatenate([self.source.p[vi], -self.source.b[bi]])
+            lcp = LCP(A=entry.A, q=q)
+        else:
+            ei = np.concatenate([sh.e_rows for sh in shards])
+            Hg, Bg, Eg = self.source.slice_blocks(vi, bi, ei)
+            splitting = LegalizationSplitting(
+                Hg, Bg, Eg, self.source.lam,
+                params=self.source.params, fast_kernels=True,
             )
-        lcp = make_kkt_lcp(
-            Hg, self.source.p[vi], Bg, self.source.b[bi]
-        )
+            if splitting.top_kernel != "woodbury":
+                raise _GroupFallback(
+                    "stacked top kernel fell back to SuperLU"
+                )
+            if splitting.m and splitting.bottom_kernel not in (
+                "pttrs", "scalar"
+            ):
+                raise _GroupFallback(
+                    f"stacked bottom kernel is {splitting.bottom_kernel}"
+                )
+            lcp = make_kkt_lcp(
+                Hg, self.source.p[vi], Bg, self.source.b[bi]
+            )
+            if cache is not None and key is not None:
+                cache.record(
+                    "miss" if entry is None or trusted else "stale"
+                )
+                cache.store(key, splitting=splitting, A=lcp.A)
         top_sizes = np.array([sh.num_variables for sh in shards], dtype=np.intp)
         bot_sizes = np.array([sh.num_constraints for sh in shards], dtype=np.intp)
         top_off = np.concatenate([[0], np.cumsum(top_sizes)])
@@ -237,16 +279,11 @@ class _GroupPack:
         bot = n_global + np.concatenate([sh.b_rows for sh in shards])
         if s0 is not None:
             return np.concatenate([s0[top], s0[bot]]).astype(float)
-        # z0 path needs the stacked LCP for w = Az + q.  The blocks come
-        # out of the same deterministic slicing _commit uses moments
-        # later, so the seed matches the per-shard warm start bitwise.
-        vi = np.concatenate([sh.variables for sh in shards])
-        bi = np.concatenate([sh.b_rows for sh in shards])
-        ei = np.concatenate([sh.e_rows for sh in shards])
-        Hg, Bg, _ = self.source.slice_blocks(vi, bi, ei)
-        lcp = make_kkt_lcp(Hg, self.source.p[vi], Bg, self.source.b[bi])
+        # z0 path needs the stacked LCP for w = Az + q; the committed
+        # stack's LCP was sliced from the same deterministic indices, so
+        # the seed matches the per-shard warm start bitwise.
         z0_g = np.concatenate([z0[top], z0[bot]]).astype(float)
-        return warm_start_from_z(lcp, z0_g, self.gamma)
+        return warm_start_from_z(self.lcp, z0_g, self.gamma)
 
     # ------------------------------------------------------------------
     # Per-shard bookkeeping

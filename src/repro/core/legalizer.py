@@ -34,6 +34,11 @@ from repro.core.resilience import (
     solve_sharded_resilient,
 )
 from repro.core.row_assign import assign_rows
+from repro.core.setup_cache import (
+    MONOLITHIC_KEY,
+    ReuseCache,
+    scalar_setup_key,
+)
 from repro.core.sharding import shard_legalization_qp, solve_sharded
 from repro.core.splitting import LegalizationSplitting, SplittingParameters
 from repro.core.state import SolverState, StaleWarmStart
@@ -215,6 +220,10 @@ class LegalizationResult:
     #: :meth:`summary` so a silently discarded state is visible outside
     #: telemetry.
     warm_start_rejected: Optional[str] = None
+    #: Coupling-graph component label per KKT variable (sharded runs
+    #: only).  Persisted with :class:`~repro.core.state.SolverState` so a
+    #: later run's reuse cache can diff component membership against it.
+    component_labels: Optional[np.ndarray] = None
 
     @property
     def runtime(self) -> float:
@@ -278,6 +287,7 @@ class MMSIMLegalizer:
         self,
         design: Design,
         warm_start_z: "Optional[np.ndarray | SolverState]" = None,
+        reuse: Optional[ReuseCache] = None,
     ) -> LegalizationResult:
         tracer = active_tracer()
         with tracer.span(
@@ -289,7 +299,7 @@ class MMSIMLegalizer:
             prepared = self.prepare(
                 design, warm_start_z=warm_start_z, tracer=tracer
             )
-            self.build_systems(prepared, tracer=tracer)
+            self.build_systems(prepared, tracer=tracer, reuse=reuse)
             mmsim_result, escalations = self.solve_prepared(
                 prepared, tracer=tracer
             )
@@ -397,9 +407,18 @@ class MMSIMLegalizer:
             prepared.warm_start = "none"
 
     def build_systems(
-        self, prepared: PreparedLegalization, tracer=None
+        self,
+        prepared: PreparedLegalization,
+        tracer=None,
+        reuse: Optional[ReuseCache] = None,
     ) -> PreparedLegalization:
-        """Attach the sharded (or monolithic) splitting to *prepared*."""
+        """Attach the sharded (or monolithic) splitting to *prepared*.
+
+        ``reuse`` carries the previous run's memoized setups (see
+        :mod:`repro.core.setup_cache`): trusted splittings are reused
+        bit-identically instead of being refactorized, with the trust
+        diff recorded under a ``setup_reuse`` child span.
+        """
         cfg = self.config
         metrics = current_session().metrics
         tracer = tracer if tracer is not None else active_tracer()
@@ -415,6 +434,7 @@ class MMSIMLegalizer:
                     ),
                     fast_kernels=cfg.fast_kernels,
                     lazy=batching,
+                    reuse=reuse,
                 )
                 span.set_attributes(
                     components=prepared.sharded.num_components,
@@ -427,13 +447,8 @@ class MMSIMLegalizer:
                 )
                 metrics.gauge("shard.shards").set(prepared.sharded.num_shards)
             else:
-                prepared.splitting = LegalizationSplitting(
-                    H=legal_qp.qp.H,
-                    B=legal_qp.qp.B,
-                    E=legal_qp.E,
-                    lam=cfg.lam,
-                    params=prepared.params,
-                    fast_kernels=cfg.fast_kernels,
+                prepared.splitting = self._monolithic_splitting(
+                    legal_qp, reuse, tracer
                 )
                 span.set_attribute("fast_kernels", cfg.fast_kernels)
 
@@ -452,6 +467,51 @@ class MMSIMLegalizer:
                         prepared.splitting.parameters_satisfy_theorem2()
                     )
         return prepared
+
+    def _monolithic_splitting(
+        self,
+        legal_qp: LegalizationQP,
+        reuse: Optional[ReuseCache],
+        tracer,
+    ) -> LegalizationSplitting:
+        """The unsharded splitting, reused wholesale when the reuse
+        cache's previous generation is bitwise identical (all-or-nothing:
+        there is no finer granularity without component sharding)."""
+        cfg = self.config
+        params = SplittingParameters(beta=cfg.beta, theta=cfg.theta)
+        entry = None
+        if reuse is not None:
+            with tracer.span("setup_reuse") as span:
+                trust = reuse.begin_run(
+                    legal_qp.qp.H,
+                    legal_qp.qp.B,
+                    legal_qp.E,
+                    scalar_key=scalar_setup_key(
+                        cfg.lam, params, cfg.fast_kernels
+                    ),
+                    labels=None,
+                )
+                entry = reuse.setups.get(MONOLITHIC_KEY)
+                span.set_attribute("all_trusted", trust.all_trusted)
+                if (
+                    trust.all_trusted
+                    and entry is not None
+                    and entry.splitting is not None
+                ):
+                    reuse.setups.record("hit")
+                    return entry.splitting
+        splitting = LegalizationSplitting(
+            H=legal_qp.qp.H,
+            B=legal_qp.qp.B,
+            E=legal_qp.E,
+            lam=cfg.lam,
+            params=params,
+            fast_kernels=cfg.fast_kernels,
+        )
+        if reuse is not None:
+            reuse.setups.record("miss" if entry is None else "stale")
+            reuse.setups.store(MONOLITHIC_KEY, splitting=splitting)
+        return splitting
 
     def solver_options(self, tel=None) -> MMSIMOptions:
         """The MMSIM options this config implies, wired to *tel*'s sink."""
@@ -630,6 +690,11 @@ class MMSIMLegalizer:
             legality=legality,
             warm_start=prepared.warm_start,
             warm_start_rejected=prepared.warm_start_rejected,
+            component_labels=(
+                getattr(prepared.sharded, "labels", None)
+                if prepared.sharded is not None
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -650,6 +715,7 @@ def legalize(
     design: Design,
     config: Optional[LegalizerConfig] = None,
     warm_start_z: "Optional[np.ndarray | SolverState]" = None,
+    reuse: Optional[ReuseCache] = None,
 ) -> LegalizationResult:
     """Convenience function: run the full MMSIM legalization flow.
 
@@ -661,8 +727,15 @@ def legalize(
     *rejected*: a :class:`~repro.core.state.StaleWarmStart` warning is
     emitted and the run falls back to the GP warm start instead of
     crashing mid-sweep or silently warping the start point.
+
+    ``reuse`` carries a :class:`~repro.core.setup_cache.ReuseCache` across
+    runs: unchanged shards reuse their memoized Woodbury/pttrf setup
+    bit-identically instead of refactorizing.  The cache holds mutable
+    sweep buffers, so never share one ReuseCache between concurrent runs.
     """
-    return MMSIMLegalizer(config).legalize(design, warm_start_z=warm_start_z)
+    return MMSIMLegalizer(config).legalize(
+        design, warm_start_z=warm_start_z, reuse=reuse
+    )
 
 
 def legalize_incremental(

@@ -52,6 +52,7 @@ from repro.core.resilience import (
     ShardEscalation,
     solve_sharded_resilient,
 )
+from repro.core.setup_cache import ReuseCache
 from repro.core.sharding import build_shards, solve_sharded
 from repro.core.state import SolverState
 from repro.lcp.problem import LCPResult
@@ -66,6 +67,11 @@ class DesignJob:
     design: Design
     config: Optional[LegalizerConfig] = None
     warm_state: Union[None, SolverState, np.ndarray] = None
+    #: Previous run's setup-reuse cache for this design (see
+    #: :mod:`repro.core.setup_cache`).  Honoured on solo runs and on
+    #: single-member merged groups; a cache built for one design cannot
+    #: describe a *stacked* system, so multi-member groups skip it.
+    reuse: Optional[ReuseCache] = None
 
 
 def _mergeable(cfg: LegalizerConfig) -> bool:
@@ -170,6 +176,11 @@ def _solve_group(
             min_shard_variables=1,
             fast_kernels=True,
             lazy=True,
+            reuse=(
+                getattr(preps[0], "_reuse", None)
+                if len(preps) == 1
+                else None
+            ),
         )
         if tel.enabled:
             tel.metrics.gauge("shard.components").set(sharded.num_components)
@@ -315,12 +326,15 @@ def legalize_many(
             solo.append(i)
             continue
         prep._prepare_seconds = dict(proot.child_seconds())  # type: ignore[attr-defined]
+        prep._reuse = job.reuse  # type: ignore[attr-defined]
         prepared[i] = prep
         groups.setdefault(_solver_key(cfg, prep), []).append(i)
 
     for i in solo:
         results[i] = legalizers[i].legalize(
-            jobs[i].design, warm_start_z=jobs[i].warm_state
+            jobs[i].design,
+            warm_start_z=jobs[i].warm_state,
+            reuse=jobs[i].reuse,
         )
 
     for members in groups.values():

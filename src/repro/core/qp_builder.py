@@ -91,11 +91,10 @@ def build_constraints(
     explicit ``−1`` boundary row of the exact-boundary extension.
     """
     anchors = anchors or {}
-    rows: List[int] = []
-    cols: List[int] = []
-    data: List[float] = []
-    b_vals: List[float] = []
-    lower = np.zeros(model.num_variables)
+    n = model.num_variables
+    lower = np.zeros(n)
+    widths = model.width_array()
+    targets = model.target_array(x_origin)
     # Multi-row cells are routed *jointly*: a segment decision made per row
     # could send a double's two subcells to conflicting segments (different
     # obstacle layouts in its rows), and the λ tie would then drag whole
@@ -103,48 +102,114 @@ def build_constraints(
     # union of the spanned rows' obstacles) steers every subcell into a
     # consistent position via its effective target.
     joint_lower = _joint_lowers(model, anchors, x_origin)
+    jl = np.zeros(n)
+    for var, bound in joint_lower.items():
+        jl[var] = bound
+
+    # First pass: route every row into segments and record emission-
+    # ordered chunks — ("pairs", seg) emits one adjacency row per
+    # neighbouring pair, ("bound", var, rhs) one explicit boundary row.
+    # The second pass assembles lower/B/b with array ops spanning *all*
+    # segments at once (per-segment numpy calls dominate on designs
+    # whose blockages shatter rows into thousands of short segments).
+    chunks: List[tuple] = []
+    seg_list: List[np.ndarray] = []
+    seg_lo_list: List[float] = []
     k = 0
-
-    def emit(coeffs: List[Tuple[int, float]], rhs: float) -> None:
-        nonlocal k
-        for col, val in coeffs:
-            rows.append(k)
-            cols.append(col)
-            data.append(val)
-        b_vals.append(rhs)
-        k += 1
-
     for row in sorted(model.row_sequence):
         seq = model.row_sequence[row]
         if not seq:
             continue
         segments = _split_by_anchors(
-            model, seq, anchors.get(row, ()), x_origin, joint_lower
+            model, seq, anchors.get(row, ()),
+            jl=jl, widths=widths, targets=targets,
         )
         for seg_vars, seg_lo, seg_hi in segments:
             if not seg_vars:
                 continue
-            for var in seg_vars:
-                lower[var] = max(seg_lo, joint_lower.get(var, 0.0))
-            for left, right in zip(seg_vars, seg_vars[1:]):
+            seg = np.asarray(seg_vars, dtype=np.intp)
+            seg_list.append(seg)
+            seg_lo_list.append(seg_lo)
+            if seg.size > 1:
                 # General per-variable offsets: y_j + L_j − y_l − L_l ≥ w_l.
-                emit(
-                    [(left, -1.0), (right, 1.0)],
-                    model.width_of(left) + lower[left] - lower[right],
-                )
+                chunks.append(("pairs", seg))
+                k += seg.size - 1
             # Interior segment right edges are relaxed like the chip edge
             # (obstacle-aware Tetris repairs any spill); only the explicit
             # exact-boundary extension emits a −1 row, on the last segment.
             if seg_hi is None and right_boundary is not None:
-                total = sum(model.width_of(v) for v in seg_vars)
+                # Sequential (non-pairwise) sum: the ≤-with-epsilon test
+                # below must see the same float the old Python loop summed.
+                total = float(sum(widths[seg].tolist()))
                 if seg_lo + total <= right_boundary + 1e-9:
-                    last = seg_vars[-1]
-                    emit(
-                        [(last, -1.0)],
-                        model.width_of(last) - (right_boundary - seg_lo),
+                    last = int(seg[-1])
+                    chunks.append(
+                        ("bound", last,
+                         widths[last] - (right_boundary - seg_lo))
                     )
-    B = sp.csr_matrix((data, (rows, cols)), shape=(k, model.num_variables))
-    return B, np.asarray(b_vals, dtype=float), lower
+                    k += 1
+
+    if seg_list:
+        # Every variable lives in exactly one segment, so one gathered
+        # scatter sets all the lowers.
+        seg_sizes = np.array([s.size for s in seg_list], dtype=np.intp)
+        all_vars = np.concatenate(seg_list)
+        all_lo = np.repeat(np.asarray(seg_lo_list, dtype=float), seg_sizes)
+        lower[all_vars] = np.maximum(all_lo, jl[all_vars])
+
+    if not chunks:
+        return sp.csr_matrix((0, n)), np.zeros(0), lower
+
+    # Global row index of each chunk's first row, in emission order.
+    counts = np.array(
+        [c[1].size - 1 if c[0] == "pairs" else 1 for c in chunks],
+        dtype=np.intp,
+    )
+    offsets = np.concatenate([[0], np.cumsum(counts[:-1])])
+    pair_segs = [c[1] for c in chunks if c[0] == "pairs"]
+    pair_offsets = offsets[[i for i, c in enumerate(chunks) if c[0] == "pairs"]]
+    b = np.empty(k, dtype=float)
+    if pair_segs:
+        pair_counts = np.array([s.size - 1 for s in pair_segs], dtype=np.intp)
+        total_pairs = int(pair_counts.sum())
+        left = np.concatenate([s[:-1] for s in pair_segs])
+        right = np.concatenate([s[1:] for s in pair_segs])
+        starts = np.concatenate([[0], np.cumsum(pair_counts[:-1])])
+        row_ids = (
+            np.repeat(pair_offsets - starts, pair_counts)
+            + np.arange(total_pairs, dtype=np.intp)
+        )
+        # Triplets per pair row stay (left, −1) then (right, +1) — the
+        # coo→csr counting sort is stable within a row, so the stored
+        # order (and every downstream summation) matches the historical
+        # per-pair emission exactly.
+        rows_pair = np.repeat(row_ids, 2)
+        cols_pair = np.empty(2 * total_pairs, dtype=np.intp)
+        cols_pair[0::2] = left
+        cols_pair[1::2] = right
+        data_pair = np.tile([-1.0, 1.0], total_pairs)
+        b[row_ids] = widths[left] + lower[left] - lower[right]
+    else:
+        rows_pair = np.zeros(0, dtype=np.intp)
+        cols_pair = np.zeros(0, dtype=np.intp)
+        data_pair = np.zeros(0)
+    bound_rows = [
+        (int(offsets[i]), c[1], c[2])
+        for i, c in enumerate(chunks)
+        if c[0] == "bound"
+    ]
+    if bound_rows:
+        rows_bound = np.array([r for r, _, _ in bound_rows], dtype=np.intp)
+        cols_bound = np.array([v for _, v, _ in bound_rows], dtype=np.intp)
+        data_bound = np.full(len(bound_rows), -1.0)
+        b[rows_bound] = [rhs for _, _, rhs in bound_rows]
+        rows_all = np.concatenate([rows_pair, rows_bound])
+        cols_all = np.concatenate([cols_pair, cols_bound])
+        data_all = np.concatenate([data_pair, data_bound])
+    else:
+        rows_all, cols_all, data_all = rows_pair, cols_pair, data_pair
+    B = sp.csr_matrix((data_all, (rows_all, cols_all)), shape=(k, n))
+    return B, b, lower
 
 
 def _joint_lowers(
@@ -199,6 +264,9 @@ def _split_by_anchors(
     row_anchors,
     x_origin: float = 0.0,
     joint_lower: Optional[Dict[int, float]] = None,
+    jl: Optional[np.ndarray] = None,
+    widths: Optional[np.ndarray] = None,
+    targets: Optional[np.ndarray] = None,
 ) -> List[Tuple[List[int], float, Optional[float]]]:
     """Partition a row's variable sequence at the obstacle intervals.
 
@@ -206,10 +274,22 @@ def _split_by_anchors(
     the last (unbounded) segment.  Cells are routed to the segment their
     *effective* target falls in — the GP target, raised to any joint lower
     bound a multi-row cell carries from its other rows.
+
+    ``jl`` / ``widths`` / ``targets`` are the caller's precomputed dense
+    arrays (joint lowers, subcell widths, shifted GP targets); each is
+    derived from the model when omitted.
     """
     obstacles = sorted(row_anchors)
     if not obstacles:
         return [(list(seq), 0.0, None)]
+    if widths is None:
+        widths = model.width_array()
+    if targets is None:
+        targets = model.target_array(x_origin)
+    if jl is None:
+        jl = np.zeros(model.num_variables)
+        for var, bound in (joint_lower or {}).items():
+            jl[var] = bound
     bounds: List[Tuple[float, Optional[float]]] = []
     lo = 0.0
     for start, end in obstacles:
@@ -217,32 +297,38 @@ def _split_by_anchors(
         lo = end
     bounds.append((lo, None))
 
-    joint_lower = joint_lower or {}
+    # Route each variable to the first segment whose right edge exceeds
+    # its effective target.  The finite segment ends are ascending (the
+    # obstacles are sorted), so searchsorted(side='right') reproduces the
+    # historical first-match scan: target == seg_hi routes rightward.
+    seq_arr = np.asarray(seq, dtype=np.intp)
+    effective = np.maximum(targets[seq_arr], jl[seq_arr])
+    seg_his = np.array([hi for _, hi in bounds[:-1]], dtype=float)
+    index = np.searchsorted(seg_his, effective, side="right")
     buckets: List[List[int]] = [[] for _ in bounds]
-    for var in seq:
-        target = model.subcells[var].cell.gp_x - x_origin
-        target = max(target, joint_lower.get(var, 0.0))
-        index = len(bounds) - 1
-        for i, (seg_lo, seg_hi) in enumerate(bounds):
-            if seg_hi is None or target < seg_hi:
-                index = i
-                break
-        buckets[index].append(var)
+    for var, i in zip(seq, index.tolist()):
+        buckets[i].append(var)
 
     # Cascade overflow rightward: a bucket holding more total width than
     # its segment can ever fit would force its tail onto the obstacle (the
     # relaxed right edge); moving the tail into the next segment preserves
-    # the GP ordering and lets the QP place it legally.
+    # the GP ordering and lets the QP place it legally.  Sequential sums
+    # on purpose — the epsilon threshold must see the same float the old
+    # Python loop accumulated.
     for i in range(len(buckets) - 1):
         seg_lo, seg_hi = bounds[i]
         if seg_hi is None:
             continue
         capacity = seg_hi - seg_lo
-        total = sum(model.width_of(v) for v in buckets[i])
+        total = (
+            float(sum(widths[np.asarray(buckets[i], dtype=np.intp)].tolist()))
+            if buckets[i]
+            else 0.0
+        )
         while buckets[i] and total > capacity + 1e-9:
             moved = buckets[i].pop()
             buckets[i + 1].insert(0, moved)
-            total -= model.width_of(moved)
+            total -= widths[moved]
     return [
         (bucket, seg_lo, seg_hi)
         for bucket, (seg_lo, seg_hi) in zip(buckets, bounds)
@@ -281,13 +367,7 @@ def build_legalization_qp(
     # position lies left of its segment (it was routed past an obstacle)
     # prefers the segment start — an unclamped negative target would drag
     # its whole cluster leftward through the quadratic mean.
-    p = np.array(
-        [
-            -max(model.target_of(v, x_origin) - lower[v], 0.0)
-            for v in range(n)
-        ],
-        dtype=float,
-    )
+    p = -np.maximum(model.target_array(x_origin) - lower, 0.0)
     qp = QPProblem(H=H, p=p, B=B, b=b)
     return LegalizationQP(
         qp=qp, E=E, lam=lam, x_origin=x_origin, model=model, lower=lower

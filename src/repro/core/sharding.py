@@ -50,10 +50,16 @@ import numpy as np
 import scipy.sparse as sp
 from scipy.sparse.csgraph import connected_components
 
+from repro.core.setup_cache import (
+    ReuseCache,
+    SetupCache,
+    index_key,
+    scalar_setup_key,
+)
 from repro.core.splitting import LegalizationSplitting, SplittingParameters
 from repro.lcp.mmsim import MMSIMOptions, mmsim_solve
 from repro.lcp.problem import LCP, LCPResult, make_kkt_lcp
-from repro.telemetry import current_session
+from repro.telemetry import active_tracer, current_session
 
 
 @dataclass
@@ -68,6 +74,8 @@ class ShardSource:
     lam: float
     params: Optional[SplittingParameters]
     fast_kernels: bool
+    #: Memoized setups for incremental (ECO) re-runs; None disables reuse.
+    cache: Optional[SetupCache] = None
 
     def slice_blocks(
         self, vi: np.ndarray, bi: np.ndarray, ei: np.ndarray
@@ -104,6 +112,10 @@ class Shard:
     source: Optional[ShardSource] = None
     _lcp: Optional[LCP] = None
     _splitting: Optional[LegalizationSplitting] = None
+    #: Index-set digest into the :class:`SetupCache` (None without reuse).
+    cache_key: Optional[bytes] = None
+    #: Whether this run's trust diff cleared the shard for cache reuse.
+    trusted: bool = False
 
     @property
     def num_variables(self) -> int:
@@ -113,21 +125,44 @@ class Shard:
     def num_constraints(self) -> int:
         return len(self.b_rows)
 
+    def _cache_entry(self):
+        """``(cache, entry)`` for this shard's key; (None, None) without
+        reuse.  The entry may belong to a previous generation — only a
+        ``trusted`` shard may consume it."""
+        src = self.source
+        cache = getattr(src, "cache", None) if src is not None else None
+        if cache is None or self.cache_key is None:
+            return None, None
+        return cache, cache.get(self.cache_key)
+
     @property
     def lcp(self) -> LCP:
         if self._lcp is None:
             src = self.source
             if src is None:
                 raise RuntimeError("lazy shard has no ShardSource")
-            Hs = src.H[self.variables][:, self.variables]
-            Bs = (
-                src.B[self.b_rows][:, self.variables]
-                if len(self.b_rows)
-                else sp.csr_matrix((0, self.num_variables))
-            )
-            self._lcp = make_kkt_lcp(
-                Hs, src.p[self.variables], Bs, src.b[self.b_rows]
-            )
+            cache, entry = self._cache_entry()
+            if self.trusted and entry is not None and entry.A is not None:
+                # A depends only on (H, B) content — trusted means those
+                # slices are bitwise unchanged.  q rebuilds fresh.
+                q = np.concatenate(
+                    [src.p[self.variables], -src.b[self.b_rows]]
+                )
+                self._lcp = LCP(A=entry.A, q=q)
+            else:
+                Hs = src.H[self.variables][:, self.variables]
+                Bs = (
+                    src.B[self.b_rows][:, self.variables]
+                    if len(self.b_rows)
+                    else sp.csr_matrix((0, self.num_variables))
+                )
+                self._lcp = make_kkt_lcp(
+                    Hs, src.p[self.variables], Bs, src.b[self.b_rows]
+                )
+                if entry is not None and (
+                    self.trusted or entry.splitting is self._splitting
+                ):
+                    entry.A = self._lcp.A
         return self._lcp
 
     @property
@@ -136,13 +171,31 @@ class Shard:
             src = self.source
             if src is None:
                 raise RuntimeError("lazy shard has no ShardSource")
-            Hs, Bs, Es = src.slice_blocks(
-                self.variables, self.b_rows, self.e_rows
-            )
-            self._splitting = LegalizationSplitting(
-                Hs, Bs, Es, src.lam,
-                params=src.params, fast_kernels=src.fast_kernels,
-            )
+            cache, entry = self._cache_entry()
+            if (
+                self.trusted
+                and entry is not None
+                and entry.splitting is not None
+            ):
+                cache.record("hit")
+                self._splitting = entry.splitting
+            else:
+                Hs, Bs, Es = src.slice_blocks(
+                    self.variables, self.b_rows, self.e_rows
+                )
+                self._splitting = LegalizationSplitting(
+                    Hs, Bs, Es, src.lam,
+                    params=src.params, fast_kernels=src.fast_kernels,
+                )
+                if cache is not None:
+                    cache.record(
+                        "miss" if entry is None or self.trusted else "stale"
+                    )
+                    cache.store(
+                        self.cache_key,
+                        splitting=self._splitting,
+                        A=self._lcp.A if self._lcp is not None else None,
+                    )
         return self._splitting
 
 
@@ -155,6 +208,9 @@ class ShardedKKT:
     num_components: int       # coupling-graph components before batching
     source: Optional[ShardSource] = None
     shards: List[Shard] = field(default_factory=list)
+    #: Per-variable coupling-component labels (the dirty-diff baseline,
+    #: persisted alongside warm-start state; see repro.core.state).
+    labels: Optional[np.ndarray] = None
 
     @property
     def num_shards(self) -> int:
@@ -229,6 +285,7 @@ def build_shards(
     min_shard_variables: int = 256,
     fast_kernels: bool = True,
     lazy: bool = False,
+    reuse: Optional[ReuseCache] = None,
 ) -> ShardedKKT:
     """Partition the legalization KKT LCP into independent shards.
 
@@ -241,6 +298,14 @@ def build_shards(
     With ``lazy=True`` only the index sets are computed here; per-shard
     matrices materialize on first attribute access (the batched engine's
     mode of operation — it slices whole groups at once instead).
+
+    With ``reuse`` set (a :class:`~repro.core.setup_cache.ReuseCache`
+    carried over from a previous run of the same design), the global
+    blocks are diffed against the previous generation under a
+    ``setup_reuse`` span and every shard whose coupling components are
+    clean is marked *trusted*: its cached splitting and KKT matrix are
+    reused bit-identically instead of being sliced and refactorized.
+    Dirty shards rebuild (and refresh the cache for the next run).
     """
     H = sp.csr_matrix(H)
     B = sp.csr_matrix(B)
@@ -258,12 +323,28 @@ def build_shards(
     b_shard = shard_of_comp[_rows_to_components(B, labels)]
     e_shard = shard_of_comp[_rows_to_components(E, labels)]
 
+    trust = None
+    if reuse is not None:
+        with active_tracer().span("setup_reuse") as span:
+            trust = reuse.begin_run(
+                H, B, E,
+                scalar_key=scalar_setup_key(lam, params, fast_kernels),
+                labels=labels,
+                num_components=num_comp,
+            )
+            span.set_attributes(
+                all_trusted=trust.all_trusted,
+                dirty_components=trust.dirty_components,
+                clean_components=trust.clean_components,
+            )
+
     source = ShardSource(
         H=H, p=p, B=B, b=b, E=E,
         lam=lam, params=params, fast_kernels=fast_kernels,
+        cache=reuse.setups if reuse is not None else None,
     )
     sharded = ShardedKKT(
-        n=n, m=m, num_components=num_comp, source=source
+        n=n, m=m, num_components=num_comp, source=source, labels=labels
     )
     comp_counts = np.bincount(shard_of_comp, minlength=num_shards)
     var_order = np.argsort(var_shard, kind="stable")
@@ -284,6 +365,9 @@ def build_shards(
             num_components=int(comp_counts[si]),
             source=source,
         )
+        if reuse is not None:
+            shard.cache_key = index_key(vi, bi, ei)
+            shard.trusted = trust.shard_trusted(vi)
         if not lazy:
             shard.lcp          # noqa: B018 - materialize eagerly
             shard.splitting    # noqa: B018
@@ -297,6 +381,7 @@ def shard_legalization_qp(
     min_shard_variables: int = 256,
     fast_kernels: bool = True,
     lazy: bool = False,
+    reuse: Optional[ReuseCache] = None,
 ) -> ShardedKKT:
     """Shard a :class:`repro.core.qp_builder.LegalizationQP`."""
     qp = legal_qp.qp
@@ -311,6 +396,7 @@ def shard_legalization_qp(
         min_shard_variables=min_shard_variables,
         fast_kernels=fast_kernels,
         lazy=lazy,
+        reuse=reuse,
     )
 
 

@@ -61,6 +61,24 @@ class SubcellModel:
         """GP x target of a variable, shifted so the core left edge is 0."""
         return self.subcells[var].cell.gp_x - x_origin
 
+    def width_array(self) -> np.ndarray:
+        """All subcell widths as one array (computed fresh — the model may
+        be reused across runs while the underlying cells mutate)."""
+        return np.fromiter(
+            (sc.cell.width for sc in self.subcells),
+            dtype=float,
+            count=len(self.subcells),
+        )
+
+    def target_array(self, x_origin: float) -> np.ndarray:
+        """All shifted GP x targets as one array (computed fresh, like
+        :meth:`width_array`)."""
+        return np.fromiter(
+            (sc.cell.gp_x - x_origin for sc in self.subcells),
+            dtype=float,
+            count=len(self.subcells),
+        )
+
     def equality_matrix(self) -> sp.csr_matrix:
         """The paper's E: one star row per extra subcell of multi-row cells."""
         rows: List[int] = []

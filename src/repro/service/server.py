@@ -52,6 +52,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro import telemetry
 from repro.core.multi import DesignJob, legalize_many
+from repro.core.setup_cache import ReuseCache
 from repro.core.state import SolverState
 from repro.service.protocol import (
     LegalizeRequest,
@@ -153,6 +154,9 @@ class LegalizationServer:
             "service.cache_misses",
             "service.cache_stale",
             "service.cache_bypass",
+            "setup.cache_hit",
+            "setup.cache_miss",
+            "setup.cache_stale",
             "resilience.escalated_shards",
             "batch.shards",
         ):
@@ -273,12 +277,26 @@ class LegalizationServer:
     def _execute_batch(self, batch: List[_Job]) -> None:
         """Worker-thread body: warm lookup → stacked solve → respond."""
         jobs: List[DesignJob] = []
+        # Setup-reuse caches are *checked out* of the store for the
+        # duration of the batch (they hold mutable sweep buffers, so a
+        # concurrent batch must not share them) and checked back in
+        # below.  Jobs in this batch sharing a key share the cache —
+        # solo jobs run sequentially inside legalize_many, and merged
+        # multi-member groups skip the cache entirely.
+        reuse_by_key: Dict[str, ReuseCache] = {}
         for job in batch:
             req = job.request
             state = None
+            reuse = None
             if req.warm:
                 state = self.store.get(req.cache_key)
                 job.cache = "hit" if state is not None else "miss"
+                reuse = reuse_by_key.get(req.cache_key)
+                if reuse is None:
+                    reuse = (
+                        self.store.take_reuse(req.cache_key) or ReuseCache()
+                    )
+                    reuse_by_key[req.cache_key] = reuse
             else:
                 job.cache = "bypass"
             jobs.append(
@@ -286,6 +304,7 @@ class LegalizationServer:
                     design=req.design,
                     config=req.legalizer_config(),
                     warm_state=state,
+                    reuse=reuse,
                 )
             )
 
@@ -306,6 +325,12 @@ class LegalizationServer:
                         results.append(exc)
             snapshot = tel.metrics.snapshot()
         self.metrics.merge_snapshot(snapshot)
+        # Check every borrowed (or freshly created) reuse cache back in —
+        # even after a poisoned batch: the trust diff re-validates cached
+        # setups against the fresh matrices on every run, so a cache from
+        # a failed solve can only produce misses, never wrong reuse.
+        for key, cache in reuse_by_key.items():
+            self.store.give_reuse(key, cache)
 
         assert self._loop is not None
         for job, result in zip(batch, results):

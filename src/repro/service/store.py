@@ -26,6 +26,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
+from repro.core.setup_cache import ReuseCache
 from repro.core.state import SolverState
 
 #: Fixed per-entry overhead charged on top of ``z.nbytes`` (key, metadata
@@ -72,6 +73,7 @@ class WarmStateStore:
         self._clock = clock
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        self._reuse: "OrderedDict[str, ReuseCache]" = OrderedDict()
         self._bytes = 0
         self.hits = 0
         self.misses = 0
@@ -119,20 +121,49 @@ class WarmStateStore:
     def invalidate(self, key: str) -> bool:
         """Drop *key*; True when it was present."""
         with self._lock:
+            dropped_reuse = self._reuse.pop(key, None) is not None
             entry = self._entries.get(key)
             if entry is None:
-                return False
+                return dropped_reuse
             self._drop(key, entry)
             return True
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._reuse.clear()
             self._bytes = 0
+
+    # ------------------------------------------------------------------
+    # Setup-reuse caches ride alongside the warm states under the same
+    # keys, with **checkout** semantics: a ReuseCache holds mutable sweep
+    # buffers, so it must never be shared between concurrent batches.
+    # ``take_reuse`` removes the cache from the store (the borrower owns
+    # it exclusively) and ``give_reuse`` returns it when the batch is
+    # done; a cache in flight when its key is invalidated is simply not
+    # re-accepted as authoritative — the trust diff re-validates against
+    # the fresh matrices on every run anyway.
+    def take_reuse(self, key: str) -> Optional[ReuseCache]:
+        """Check out (remove and return) the reuse cache under *key*."""
+        with self._lock:
+            return self._reuse.pop(key, None)
+
+    def give_reuse(self, key: str, cache: ReuseCache) -> None:
+        """Check a reuse cache back in under *key* (LRU-bounded by
+        ``max_entries``, like the warm states)."""
+        with self._lock:
+            self._reuse.pop(key, None)
+            self._reuse[key] = cache
+            while (
+                self.max_entries is not None
+                and len(self._reuse) > self.max_entries
+            ):
+                self._reuse.popitem(last=False)
 
     # ------------------------------------------------------------------
     def _drop(self, key: str, entry: _Entry) -> None:
         del self._entries[key]
+        self._reuse.pop(key, None)
         self._bytes -= entry.size_bytes
 
     def _evict_locked(self) -> None:
@@ -165,6 +196,7 @@ class WarmStateStore:
         with self._lock:
             return {
                 "entries": len(self._entries),
+                "reuse_entries": len(self._reuse),
                 "bytes": self._bytes,
                 "max_entries": self.max_entries,
                 "max_bytes": self.max_bytes,
