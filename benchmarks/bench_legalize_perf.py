@@ -89,15 +89,33 @@ PROFILES = {
         "eco": True,
         "perturb": 0.05,
     },
+    # Fence regions + fixed macros: group-partitioned constraint graph.
+    # Same legacy-vs-sharded comparison as smoke/full; additionally every
+    # run must come out fully legal (zero FENCE violations) or the bench
+    # exits nonzero.
+    "fences": {
+        "scales": [0.01, 0.02, 0.05],
+        "reps": 1,
+        "fences": 2,
+        "macro_frac": 0.1,
+    },
 }
 
 
-def _make_design(scale: float, blockage: Optional[float]):
+def _make_design(
+    scale: float,
+    blockage: Optional[float],
+    fences: int = 0,
+    macro_frac: float = 0.0,
+):
     if blockage is not None:
         return generate_benchmark(
             BENCH, scale=scale, seed=SEED, blockage_fraction=blockage
         )
-    return make_benchmark(BENCH, scale=scale, seed=SEED, with_nets=False)
+    return make_benchmark(
+        BENCH, scale=scale, seed=SEED, with_nets=False,
+        fences=fences, macro_fraction=macro_frac,
+    )
 
 
 def _run_config(
@@ -105,11 +123,13 @@ def _run_config(
     scale: float,
     reps: int,
     blockage: Optional[float] = None,
+    fences: int = 0,
+    macro_frac: float = 0.0,
 ) -> Dict:
     """Best-of-``reps`` legalization of a freshly generated design."""
     best: Optional[Dict] = None
     for _ in range(reps):
-        design = _make_design(scale, blockage)
+        design = _make_design(scale, blockage, fences, macro_frac)
         t0 = time.perf_counter()
         result = MMSIMLegalizer(cfg).legalize(design)
         wall = time.perf_counter() - t0
@@ -386,13 +406,24 @@ def run_profile(profile: str, parallel: bool, parity_tol: float) -> Dict:
                 f"{rec['perturbed_clean_components']}"
             )
     else:
+        fences = spec.get("fences", 0)
+        macro_frac = spec.get("macro_frac", 0.0)
         sharded_cfg = LegalizerConfig(parallel=parallel)
         legacy_cfg = LegalizerConfig(shard=False, fast_kernels=False)
         for scale in spec["scales"]:
-            legacy = _run_config(legacy_cfg, scale, spec["reps"], blockage)
-            sharded = _run_config(sharded_cfg, scale, spec["reps"], blockage)
+            legacy = _run_config(
+                legacy_cfg, scale, spec["reps"], blockage, fences, macro_frac
+            )
+            sharded = _run_config(
+                sharded_cfg, scale, spec["reps"], blockage, fences, macro_frac
+            )
             parity = _parity(sharded, legacy, parity_tol)
             diverged = diverged or not parity["ok"]
+            if fences:
+                # The fences profile doubles as a legality gate: a fenced
+                # design that ends illegal is a regression, not a perf
+                # data point.
+                diverged = diverged or not sharded["legal"] or not legacy["legal"]
             speedup = legacy["wall_s"] / sharded["wall_s"]
             runs.append(
                 {
@@ -420,6 +451,8 @@ def run_profile(profile: str, parallel: bool, parity_tol: float) -> Dict:
         "parallel": parallel,
         "reps": spec["reps"],
         "blockage_fraction": blockage,
+        "fences": spec.get("fences", 0),
+        "macro_fraction": spec.get("macro_frac", 0.0),
         "perturb_fraction": spec.get("perturb"),
         "parity_tol": parity_tol,
         "python": platform.python_version(),

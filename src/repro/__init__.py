@@ -23,13 +23,22 @@ from repro.core import (
 )
 from repro.legality import check_legality
 from repro.metrics import displacement_stats, wirelength_stats
-from repro.netlist import CellInstance, CellMaster, Design, Net, Pin, RailType
+from repro.netlist import (
+    CellInstance,
+    CellMaster,
+    Design,
+    FenceRegion,
+    Net,
+    Pin,
+    RailType,
+)
 from repro.rows import CoreArea, RailScheme
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Design",
+    "FenceRegion",
     "CellMaster",
     "CellInstance",
     "RailType",

@@ -15,9 +15,12 @@ any legalizer's output.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Tuple
 
 from repro.baselines.placerow import RowPlacer
+from repro.geometry import snap_up
+from repro.legality.checker import row_tolerance
 from repro.netlist.design import Design
 
 
@@ -34,10 +37,21 @@ def placerow_refine(design: Design) -> float:
     per_row: Dict[int, List[Tuple[float, float, bool, object]]] = {
         r: [] for r in range(core.num_rows)
     }
+    eps_y = row_tolerance(core) / core.row_height
     for cell in design.cells:
         if cell.fixed:
-            row = core.row_of_y(cell.y)
-            rows = range(row, min(row + cell.height_rows, core.num_rows))
+            # Obstacles need not be row-aligned: the barrier spans every
+            # row the rectangle geometrically touches (same tolerance as
+            # the Tetris site-map blocking), not just its nearest row.
+            row_lo = int(math.floor((cell.y - core.yl) / core.row_height + eps_y))
+            row_hi = int(
+                math.ceil(
+                    (cell.y + cell.height(core.row_height) - core.yl)
+                    / core.row_height
+                    - eps_y
+                )
+            )
+            rows = range(max(row_lo, 0), min(max(row_hi, row_lo + 1), core.num_rows))
             barrier = True
         else:
             if cell.row_index is None:
@@ -63,7 +77,13 @@ def _refine_row(design: Design, core, entries: List[Tuple]) -> None:
         if barrier:
             _solve_segment(design, core, segment, seg_lo, x)
             segment = []
-            seg_lo = x + width
+            # Off-grid barriers (macros need not be site-aligned) end
+            # between site boundaries; the segment start must snap *up*
+            # or the placer pins its leftmost cell off grid, tucked into
+            # the barrier.  Overlapping barriers only advance the edge.
+            seg_lo = max(
+                seg_lo, snap_up(x + width, core.xl, core.site_width)
+            )
         else:
             segment.append(cell)
     _solve_segment(design, core, segment, seg_lo, core.xh)

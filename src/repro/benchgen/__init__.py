@@ -16,9 +16,18 @@ def make_benchmark(
     seed: int = 0,
     mixed: bool = True,
     with_nets: bool = True,
+    fences: int = 0,
+    macro_fraction: float = 0.0,
 ):
     """One-call benchmark construction: cells + GP + synthetic netlist."""
-    design = generate_benchmark(name, scale=scale, seed=seed, mixed=mixed)
+    design = generate_benchmark(
+        name,
+        scale=scale,
+        seed=seed,
+        mixed=mixed,
+        fences=fences,
+        macro_fraction=macro_fraction,
+    )
     if with_nets:
         generate_nets(design, seed=seed + 1)
     return design

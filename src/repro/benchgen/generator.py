@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -74,6 +74,8 @@ def generate_benchmark(
     mixed: bool = True,
     triple_fraction: float = 0.0,
     blockage_fraction: float = 0.0,
+    fences: int = 0,
+    macro_fraction: float = 0.0,
 ) -> Design:
     """Generate a synthetic instance of a paper benchmark.
 
@@ -102,7 +104,23 @@ def generate_benchmark(
         regions; this reintroduces obstacle structure).  Blockages are
         carved out of the hidden legal packing's gaps, so the instance
         stays feasible by construction.
+    fences:
+        Extension: partition the core into ``2*fences + 1`` alternating
+        unfenced/fence vertical slabs and pack each slab's cell subset
+        separately, so every fence region (a slab's x-range as two
+        stacked rects, exercising the union-of-rects model) holds
+        exactly its member cells in the hidden legal packing — fenced
+        instances are feasible by construction.
+    macro_fraction:
+        Extension: add fixed macros (3–6 rows × 10–30 sites) worth this
+        fraction of the movable cell area.  Macros ride through the
+        same frontier packer (so they never overlap anything) and are
+        then frozen in place as obstacles.
     """
+    if fences < 0:
+        raise ValueError("fences must be >= 0")
+    if not 0.0 <= macro_fraction <= 1.0:
+        raise ValueError("macro_fraction must be in [0, 1]")
     profile = (
         name_or_profile
         if isinstance(name_or_profile, BenchmarkProfile)
@@ -112,9 +130,27 @@ def generate_benchmark(
     scaled = profile.scaled(scale)
     rng = np.random.default_rng(seed)
 
-    cells = _sample_cells(scaled, rng, cfg, mixed, triple_fraction)
-    core, legal_positions = _pack(cells, scaled, rng, cfg)
+    cells = _sample_cells(scaled, rng, cfg, mixed, triple_fraction, macro_fraction)
+    if fences > 0:
+        core, legal_positions, fence_specs = _pack_slabs(
+            cells, scaled, rng, cfg, fences
+        )
+    else:
+        core, legal_positions = _pack(cells, scaled, rng, cfg)
+        fence_specs = []
     design = _build_design(profile.name, core, cells, legal_positions, scale, mixed)
+    for fi, (lo_site, hi_site, member_idx) in enumerate(fence_specs):
+        x_lo = core.xl + lo_site * core.site_width
+        x_hi = core.xl + hi_site * core.site_width
+        # Split each slab into two stacked rects at a mid row boundary so
+        # generated fences exercise the union-of-rects containment model.
+        y_mid = core.yl + (core.num_rows // 2) * core.row_height
+        design.add_fence(
+            f"fence{fi}",
+            [(x_lo, core.yl, x_hi, y_mid), (x_lo, y_mid, x_hi, core.yh)],
+            [f"c{i}" for i in member_idx],
+        )
+    design.validate_fences()
     if blockage_fraction > 0.0:
         _carve_blockages(design, rng, blockage_fraction)
     _perturb_to_gp(design, rng, cfg)
@@ -129,6 +165,7 @@ class _ProtoCell:
     width_sites: int
     height_rows: int
     bottom_rail: Optional[RailType]
+    fixed: bool = False
 
 
 def _sample_cells(
@@ -137,6 +174,7 @@ def _sample_cells(
     cfg: GeneratorConfig,
     mixed: bool,
     triple_fraction: float = 0.0,
+    macro_fraction: float = 0.0,
 ) -> List[_ProtoCell]:
     if not 0.0 <= triple_fraction <= 1.0:
         raise ValueError("triple_fraction must be in [0, 1]")
@@ -157,6 +195,22 @@ def _sample_cells(
             cells.append(_ProtoCell(max(1, math.ceil(w / 2)), 2, rail))
         else:
             cells.append(_ProtoCell(w, 1, None))
+    if macro_fraction > 0.0:
+        # Fixed macros worth macro_fraction of the movable area: tall wide
+        # blocks that the frontier packer places like any multi-row cell,
+        # then frozen as obstacles (_build_design marks them fixed).
+        budget = macro_fraction * sum(
+            c.width_sites * c.height_rows for c in cells
+        )
+        used = 0.0
+        while used < budget:
+            h = int(rng.integers(3, 7))
+            w = int(rng.integers(10, 31))
+            rail = None
+            if h % 2 == 0:
+                rail = RailType.VSS if rng.random() < 0.5 else RailType.VDD
+            cells.append(_ProtoCell(w, h, rail, fixed=True))
+            used += w * h
     order = rng.permutation(len(cells))
     return [cells[i] for i in order]
 
@@ -182,6 +236,7 @@ def _pack(
     )
     gap_mean = mean_width * (1.0 - density) / max(density, 1e-3)
 
+    _clamp_fixed_heights(cells, num_rows)
     frontier = np.zeros(num_rows)
     positions: List[Tuple[float, int]] = []
     rails = RailScheme()
@@ -189,27 +244,9 @@ def _pack(
         # Low-variance gaps keep per-row fill uniform so the final core
         # width (the max frontier) stays close to the density target.
         gap = rng.uniform(0.5, 1.5) * gap_mean if gap_mean > 0 else 0.0
-        if cell.height_rows == 1:
-            row = int(np.argmin(frontier))
-            x = frontier[row] + gap
-            frontier[row] = x + cell.width_sites
-            positions.append((x, row))
-        else:
-            # Rail-correct bottom rows (even heights are rail-locked; odd
-            # multi-row heights may start anywhere they fit vertically).
-            candidates = [
-                r
-                for r in range(num_rows - cell.height_rows + 1)
-                if cell.height_rows % 2 != 0
-                or rails.bottom_rail(r) == cell.bottom_rail
-            ]
-            pair_front = [
-                max(frontier[r : r + cell.height_rows]) for r in candidates
-            ]
-            row = candidates[int(np.argmin(pair_front))]
-            x = max(frontier[row : row + cell.height_rows]) + gap
-            frontier[row : row + cell.height_rows] = x + cell.width_sites
-            positions.append((x, row))
+        positions.append(
+            _place_on_frontier(frontier, cell, gap, rails, num_rows)
+        )
 
     # Pad short designs out to the width the density target implies; the
     # max frontier keeps the instance feasible when packing overshoots.
@@ -225,6 +262,132 @@ def _pack(
         rails=rails,
     )
     return core, positions
+
+
+def _place_on_frontier(
+    frontier: np.ndarray,
+    cell: _ProtoCell,
+    gap: float,
+    rails: RailScheme,
+    num_rows: int,
+) -> Tuple[float, int]:
+    """Commit one cell to the brick-wall frontier; returns (x_site, row)."""
+    if cell.height_rows == 1:
+        row = int(np.argmin(frontier))
+        x = frontier[row] + gap
+        if cell.fixed:
+            x = float(math.ceil(x))
+        frontier[row] = x + cell.width_sites
+        return (x, row)
+    # Rail-correct bottom rows (even heights are rail-locked; odd
+    # multi-row heights may start anywhere they fit vertically).
+    candidates = [
+        r
+        for r in range(num_rows - cell.height_rows + 1)
+        if cell.height_rows % 2 != 0
+        or rails.bottom_rail(r) == cell.bottom_rail
+    ]
+    if not candidates and cell.height_rows == num_rows:
+        # An even-height cell as tall as the whole core has row 0 as its
+        # only bottom row; re-rail it to match (the master is derived
+        # from the protocell afterwards, so the result stays legal).
+        cell.bottom_rail = rails.bottom_rail(0)
+        candidates = [0]
+    pair_front = [
+        max(frontier[r : r + cell.height_rows]) for r in candidates
+    ]
+    row = candidates[int(np.argmin(pair_front))]
+    x = max(frontier[row : row + cell.height_rows]) + gap
+    if cell.fixed:
+        # Macros are committed on whole sites: the legality audit checks
+        # alignment for every cell, obstacles included.
+        x = float(math.ceil(x))
+    frontier[row : row + cell.height_rows] = x + cell.width_sites
+    return (x, row)
+
+
+def _clamp_fixed_heights(cells: List[_ProtoCell], num_rows: int) -> None:
+    """Shrink fixed macros that would overtop a short core (tiny scales)."""
+    for cell in cells:
+        if cell.fixed and cell.height_rows > num_rows:
+            cell.height_rows = num_rows
+            if cell.height_rows % 2 != 0:
+                cell.bottom_rail = None
+
+
+def _pack_slabs(
+    cells: List[_ProtoCell],
+    scaled: ScaledProfile,
+    rng: np.random.Generator,
+    cfg: GeneratorConfig,
+    num_fences: int,
+) -> Tuple[CoreArea, List[Tuple[float, int]], List[Tuple[int, int, List[int]]]]:
+    """Frontier packing into ``2*num_fences + 1`` vertical slabs.
+
+    Odd-indexed slabs become fence regions; the cells assigned to a
+    slab are packed against that slab's own frontier, so fence members
+    start inside their fence and everything else starts outside every
+    fence.  Returns ``(core, positions, fence_specs)`` where each fence
+    spec is ``(lo_site, hi_site, member_cell_indices)``.
+    """
+    density = scaled.density
+    total_site_area = sum(c.width_sites * c.height_rows for c in cells)
+    area_units = total_site_area * cfg.site_width * cfg.row_height / density
+    height_units = math.sqrt(area_units * cfg.aspect_ratio)
+    num_rows = max(2, round(height_units / cfg.row_height))
+    num_rows += num_rows % 2
+    _clamp_fixed_heights(cells, num_rows)
+
+    num_slabs = 2 * num_fences + 1
+    # Contiguous equal-area chunks of the (already shuffled) cell list.
+    chunks: List[List[int]] = [[] for _ in range(num_slabs)]
+    acc = 0.0
+    slab = 0
+    for idx, cell in enumerate(cells):
+        if slab < num_slabs - 1 and acc >= total_site_area * (slab + 1) / num_slabs:
+            slab += 1
+        chunks[slab].append(idx)
+        acc += cell.width_sites * cell.height_rows
+
+    mean_width = total_site_area / max(1, sum(c.height_rows for c in cells))
+    gap_mean = mean_width * (1.0 - density) / max(density, 1e-3)
+    rails = RailScheme()
+    positions: List[Optional[Tuple[float, int]]] = [None] * len(cells)
+    fence_specs: List[Tuple[int, int, List[int]]] = []
+    x_offset = 0
+    for s, chunk in enumerate(chunks):
+        frontier = np.zeros(num_rows)
+        for idx in chunk:
+            gap = rng.uniform(0.5, 1.5) * gap_mean if gap_mean > 0 else 0.0
+            x, row = _place_on_frontier(
+                frontier, cells[idx], gap, rails, num_rows
+            )
+            positions[idx] = (x_offset + x, row)
+        chunk_area = sum(
+            cells[i].width_sites * cells[i].height_rows for i in chunk
+        )
+        ideal = chunk_area / (num_rows * density)
+        slab_sites = max(
+            2, int(math.ceil(max(float(frontier.max()), ideal)))
+        )
+        if s % 2 == 1:
+            fence_specs.append((
+                x_offset,
+                x_offset + slab_sites,
+                [i for i in chunk if not cells[i].fixed],
+            ))
+        x_offset += slab_sites
+
+    core = CoreArea(
+        xl=0.0,
+        yl=0.0,
+        num_rows=num_rows,
+        row_height=cfg.row_height,
+        num_sites=max(4, x_offset),
+        site_width=cfg.site_width,
+        rails=rails,
+    )
+    return core, positions, fence_specs
 
 
 def _build_design(
@@ -250,7 +413,7 @@ def _build_design(
             )
         x = core.xl + x_site * core.site_width
         y = core.row_y(row)
-        design.add_cell(f"c{i}", masters[key], x, y)
+        design.add_cell(f"c{i}", masters[key], x, y, fixed=proto.fixed)
     design.scale = scale  # type: ignore[attr-defined]
     return design
 
@@ -331,7 +494,7 @@ def _carve_blockages(
     core = design.core
     # Per-row occupied intervals from the packed (still legal) layout.
     occupied: List[List[Tuple[float, float]]] = [[] for _ in range(core.num_rows)]
-    for cell in design.movable_cells:
+    for cell in design.cells:
         row = core.row_of_y(cell.y)
         for r in range(row, min(row + cell.height_rows, core.num_rows)):
             occupied[r].append((cell.x, cell.x + cell.width))

@@ -70,12 +70,23 @@ def _save(design: Design, path: str) -> None:
 
 def cmd_gen(args: argparse.Namespace) -> int:
     design = make_benchmark(
-        args.benchmark, scale=args.scale, seed=args.seed, mixed=not args.single_height
+        args.benchmark,
+        scale=args.scale,
+        seed=args.seed,
+        mixed=not args.single_height,
+        fences=args.fences,
+        macro_fraction=args.macro_frac,
     )
     _save(design, args.output)
+    extras = ""
+    if design.fences:
+        extras += f", {len(design.fences)} fences"
+    num_fixed = design.num_cells - len(design.movable_cells)
+    if num_fixed:
+        extras += f", {num_fixed} fixed macros"
     print(
         f"generated {design.name}: {design.num_cells} cells, "
-        f"density {design.density():.2f} -> {args.output}"
+        f"density {design.density():.2f}{extras} -> {args.output}"
     )
     return 0
 
@@ -198,6 +209,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         shrink=not args.no_shrink,
         corpus_dir=None if args.no_write else args.corpus,
         max_failures=args.max_failures,
+        kinds=args.kinds.split(",") if args.kinds else None,
     )
     with telemetry.session() as tel:
         report = run_fuzz(opts)
@@ -365,6 +377,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=0.02)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--single-height", action="store_true")
+    p.add_argument("--fences", type=int, default=0, metavar="N",
+                   help="add N fence regions (vertical slabs packed so the "
+                        "instance stays feasible; members must legalize "
+                        "inside, everything else outside)")
+    p.add_argument("--macro-frac", type=float, default=0.0, metavar="F",
+                   help="add fixed macros worth F of the movable cell area "
+                        "(3-6 rows x 10-30 sites, placed as obstacles)")
     p.set_defaults(func=cmd_gen)
 
     p = sub.add_parser("legalize", help="legalize a design file")
@@ -429,6 +448,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip ddmin minimization of failing cases")
     p.add_argument("--max-failures", type=int, default=10,
                    help="stop the campaign after this many failing cases")
+    p.add_argument("--kinds", default=None, metavar="K1,K2",
+                   help="restrict scenario sampling to these kinds "
+                        "(comma-separated, e.g. fences,benchgen; "
+                        "default: the full weighted mix)")
     p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser(

@@ -15,12 +15,18 @@ exhaustion or barrier-induced fragmentation across the whole core.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import math
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.geometry import snap_down, snap_nearest, snap_up
+from repro.legality.checker import row_tolerance
 from repro.netlist.cell import CellInstance
 from repro.netlist.design import Design
 from repro.rows.sitemap import SiteMap
+
+#: Per-row forbidden x-intervals (fence complements); see
+#: :func:`compact_rows_and_place`.
+BlockedMap = Dict[int, List[Tuple[float, float]]]
 
 
 def compact_rows_and_place(
@@ -28,6 +34,8 @@ def compact_rows_and_place(
     site_map: SiteMap,
     cell: CellInstance,
     ignore: "Optional[set]" = None,
+    eligible: Optional[Callable[[CellInstance], bool]] = None,
+    blocked: Optional[BlockedMap] = None,
 ) -> bool:
     """Find a row span for *cell* by compaction; commits moves on success.
 
@@ -36,6 +44,12 @@ def compact_rows_and_place(
     not committed yet — e.g. other still-pending illegal cells, which must
     not masquerade as barriers at their stale positions); the map is
     updated in place together with the moved cells' coordinates.
+
+    Fence support: *eligible* restricts which movable cells participate
+    (cells of other fence groups are skipped entirely — they sit inside
+    this group's *blocked* intervals, which enter the plan as immovable
+    barriers).  *blocked* maps row index to forbidden x-intervals; both
+    default to None, the unrestricted whole-core behaviour.
     """
     core = design.core
     ignore = ignore or set()
@@ -46,7 +60,7 @@ def compact_rows_and_place(
         key=lambda r: abs(r - home),
     )
     for row in order:
-        plan = _plan_compaction(design, cell, row, ignore)
+        plan = _plan_compaction(design, cell, row, ignore, eligible, blocked)
         if plan is None:
             continue
         moves, end = plan
@@ -61,6 +75,8 @@ def evict_and_place(
     cell: CellInstance,
     ignore: Optional[set] = None,
     max_evictions: int = 12,
+    eligible: Optional[Callable[[CellInstance], bool]] = None,
+    blocked: Optional[BlockedMap] = None,
     _frozen: Optional[set] = None,
     _depth: int = 2,
 ) -> bool:
@@ -92,14 +108,16 @@ def evict_and_place(
     for row in order:
         evicted: List[CellInstance] = []
         trial_ignore = set(ignore)
-        plan = _plan_compaction(design, cell, row, trial_ignore)
+        plan = _plan_compaction(design, cell, row, trial_ignore, eligible, blocked)
         while plan is None and len(evicted) < max_evictions:
-            victim = _rightmost_victim(design, cell, row, trial_ignore | frozen)
+            victim = _rightmost_victim(
+                design, cell, row, trial_ignore | frozen, eligible
+            )
             if victim is None:
                 break
             evicted.append(victim)
             trial_ignore.add(victim.id)
-            plan = _plan_compaction(design, cell, row, trial_ignore)
+            plan = _plan_compaction(design, cell, row, trial_ignore, eligible, blocked)
         if plan is None:
             continue
         # Commit: release victims, apply the plan, re-place victims.
@@ -123,7 +141,9 @@ def evict_and_place(
             stats = TetrisFixStats(num_cells=1)
             if place_at_nearest_free(victim, design, site_map, stats):
                 continue
-            if compact_rows_and_place(design, site_map, victim, ignore | still_out):
+            if compact_rows_and_place(
+                design, site_map, victim, ignore | still_out, eligible, blocked
+            ):
                 continue
             if _depth > 0 and evict_and_place(
                 design,
@@ -131,6 +151,8 @@ def evict_and_place(
                 victim,
                 ignore | still_out,
                 max_evictions,
+                eligible=eligible,
+                blocked=blocked,
                 _frozen=frozen,
                 _depth=_depth - 1,
             ):
@@ -145,7 +167,11 @@ def evict_and_place(
 
 
 def _rightmost_victim(
-    design: Design, cell: CellInstance, row: int, ignore: set
+    design: Design,
+    cell: CellInstance,
+    row: int,
+    ignore: set,
+    eligible: Optional[Callable[[CellInstance], bool]] = None,
 ) -> Optional[CellInstance]:
     """The best eviction victim whose footprint touches the span.
 
@@ -161,6 +187,8 @@ def _rightmost_victim(
     for other in design.cells:
         if other is cell or other.id in ignore or other.fixed:
             continue
+        if eligible is not None and not eligible(other):
+            continue
         if other.row_index is None:
             continue
         if other.row_index >= span_hi or other.row_index + other.height_rows <= span_lo:
@@ -173,16 +201,39 @@ def _rightmost_victim(
     return best_single or best_multi
 
 
-def _bottom_row(design: Design, cell: CellInstance) -> Optional[int]:
+def _row_span(design: Design, cell: CellInstance) -> Optional[Tuple[int, int]]:
+    """Rows ``[lo, hi)`` the cell's footprint touches.
+
+    Movables sit on exact row boundaries, so their ``row_index`` is the
+    span start.  Fixed cells need not be row-aligned (off-grid macros and
+    obstacles are legal inputs), so their span is the full set of rows the
+    rectangle geometrically touches — mirroring the Tetris site-map
+    blocking, with the same ulp-aware boundary tolerance.
+    """
+    core = design.core
     if cell.row_index is not None:
-        return cell.row_index
+        return cell.row_index, cell.row_index + cell.height_rows
     if cell.fixed:
-        return design.core.row_of_y(cell.y)
+        eps_y = row_tolerance(core) / core.row_height
+        lo = int(math.floor((cell.y - core.yl) / core.row_height + eps_y))
+        hi = int(
+            math.ceil(
+                (cell.y + cell.height(core.row_height) - core.yl)
+                / core.row_height
+                - eps_y
+            )
+        )
+        return lo, max(hi, lo + 1)
     return None
 
 
 def _plan_compaction(
-    design: Design, cell: CellInstance, row: int, ignore: set
+    design: Design,
+    cell: CellInstance,
+    row: int,
+    ignore: set,
+    eligible: Optional[Callable[[CellInstance], bool]] = None,
+    blocked: Optional[BlockedMap] = None,
 ) -> Optional[Tuple[List[Tuple[CellInstance, float]], float]]:
     """Left-compaction plan for the rows ``row .. row+h-1``.
 
@@ -191,52 +242,75 @@ def _plan_compaction(
     compacted span (immovable barriers partition the rows, so the gap is
     not necessarily at the right end), or None when even full compaction
     cannot make room.
+
+    Items are ``(x, movable, width, rows, cell)``; *blocked* intervals
+    enter as cell-less barrier items, so fence complements partition the
+    span exactly like fixed cells do.
     """
     core = design.core
     h = cell.height_rows
     span_lo, span_hi = row, row + h
 
-    items: List[Tuple[float, bool, CellInstance, int]] = []
+    items: List[Tuple[float, int, bool, float, range, Optional[CellInstance]]] = []
     for other in design.cells:
         if other is cell or other.id in ignore:
             continue
-        orow = _bottom_row(design, other)
-        if orow is None:
+        if eligible is not None and not other.fixed and not eligible(other):
+            # Other-group movables live inside this group's blocked
+            # intervals; the intervals themselves are the barriers.
             continue
-        if orow >= span_hi or orow + other.height_rows <= span_lo:
+        span = _row_span(design, other)
+        if span is None:
             continue
-        movable = (
-            not other.fixed
-            and span_lo <= orow
-            and orow + other.height_rows <= span_hi
-        )
-        items.append((other.x, movable, other, orow))
-    items.sort(key=lambda t: (t[0], t[2].id))
+        olo, ohi = span
+        if olo >= span_hi or ohi <= span_lo:
+            continue
+        movable = not other.fixed and span_lo <= olo and ohi <= span_hi
+        rows_of = range(max(olo, span_lo), min(ohi, span_hi))
+        items.append((other.x, other.id, movable, other.width, rows_of, other))
+    if blocked:
+        for r in range(span_lo, span_hi):
+            for b_lo, b_hi in blocked.get(r, ()):
+                if b_hi > b_lo:
+                    items.append((b_lo, -1, False, b_hi - b_lo, range(r, r + 1), None))
+    items.sort(key=lambda t: (t[0], t[1]))
 
     frontier: Dict[int, float] = {r: core.xl for r in range(span_lo, span_hi)}
+    # Rightmost extent of *movable* placements per row: barriers may
+    # legally overlap each other (overlapping fixed obstacles, a fence
+    # interval abutting a macro), so only a movable passing a barrier's
+    # left edge invalidates the plan — an earlier barrier pushing the
+    # frontier past it does not.
+    mov_end: Dict[int, float] = {r: core.xl for r in range(span_lo, span_hi)}
     occupied: Dict[int, List[Tuple[float, float]]] = {
         r: [] for r in range(span_lo, span_hi)
     }
     moves: List[Tuple[CellInstance, float]] = []
-    for x, movable, other, orow in items:
-        rows_of = range(max(orow, span_lo), min(orow + other.height_rows, span_hi))
+    for x, _, movable, width, rows_of, other in items:
         if not movable:
-            # Barrier: the compacted frontier must not have passed it.
-            if any(frontier[r] > x + 1e-9 for r in rows_of):
+            # Barrier: no compacted movable may have passed it.
+            if any(mov_end[r] > x + 1e-9 for r in rows_of):
                 return None
             for r in rows_of:
-                frontier[r] = max(frontier[r], x + other.width)
-                occupied[r].append((x, x + other.width))
+                frontier[r] = max(frontier[r], x + width)
+                occupied[r].append((x, x + width))
         else:
-            new_x = max(frontier[r] for r in rows_of)
+            # Movables sit on the site grid; an off-grid barrier (macros
+            # need not be site-aligned) leaves the frontier between site
+            # boundaries, so snap *up* — rounding could tuck the cell
+            # back into the barrier.
+            new_x = snap_up(
+                max(frontier[r] for r in rows_of), core.xl, core.site_width
+            )
             if new_x > x + 1e-9:
                 # A legal input can't require rightward moves; bail out.
                 return None
             if new_x < x - 1e-9:
                 moves.append((other, new_x))
             for r in rows_of:
-                frontier[r] = new_x + other.width
-                occupied[r].append((new_x, new_x + other.width))
+                frontier[r] = new_x + width
+                mov_end[r] = max(mov_end[r], new_x + width)
+                occupied[r].append((new_x, new_x + width))
 
     x = _best_gap(core, occupied, cell, span_lo, span_hi)
     if x is None:

@@ -326,6 +326,11 @@ class MMSIMLegalizer:
         metrics = current_session().metrics
         tracer = tracer if tracer is not None else active_tracer()
 
+        # Fence specs are inputs: reject unresolvable membership before
+        # any stage consumes them (a bad member name would otherwise
+        # surface as a silent "unfenced" cell deep in the flow).
+        design.validate_fences()
+
         with tracer.span("row_assign"):
             assignment = assign_rows(design)
 
@@ -446,6 +451,19 @@ class MMSIMLegalizer:
                     prepared.sharded.num_components
                 )
                 metrics.gauge("shard.shards").set(prepared.sharded.num_shards)
+                if (
+                    legal_qp.var_groups is not None
+                    and prepared.sharded.labels is not None
+                ):
+                    # Components made up of fence members (group-aware
+                    # batching guarantees a component never mixes groups).
+                    fence_components = int(
+                        np.unique(
+                            prepared.sharded.labels[legal_qp.var_groups >= 0]
+                        ).size
+                    )
+                    span.set_attribute("fence_components", fence_components)
+                    metrics.gauge("fence.components").set(fence_components)
             else:
                 prepared.splitting = self._monolithic_splitting(
                     legal_qp, reuse, tracer
@@ -639,6 +657,10 @@ class MMSIMLegalizer:
             metrics.counter("legalizer.illegal_after_qp").inc(
                 tetris_stats.num_illegal
             )
+            if tetris_stats.fence_spill_cells:
+                metrics.counter("fence.spill_cells").inc(
+                    tetris_stats.fence_spill_cells
+                )
 
         # Mandatory post-flow audit: the flow must never report
         # success on an illegal placement, whatever path (fallbacks

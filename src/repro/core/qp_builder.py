@@ -45,6 +45,10 @@ class LegalizationQP:
     model: SubcellModel
     #: Per-variable lower offsets (len n); None materializes to zeros.
     lower: Optional[np.ndarray] = None
+    #: Per-variable fence group (len n, −1 = unfenced); None when the
+    #: design has no fences.  Sharding uses this to keep shards from
+    #: mixing fence groups.
+    var_groups: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         if self.lower is None:
@@ -70,6 +74,8 @@ def build_constraints(
     right_boundary: Optional[float] = None,
     anchors: Optional[Dict[int, List[Tuple[float, float]]]] = None,
     x_origin: float = 0.0,
+    var_groups: Optional[np.ndarray] = None,
+    group_anchors: Optional[Dict[int, Dict[int, List[Tuple[float, float]]]]] = None,
 ) -> "tuple[sp.csr_matrix, np.ndarray, np.ndarray]":
     """Build B, b, and per-variable lower offsets from the row sequences.
 
@@ -89,6 +95,16 @@ def build_constraints(
 
     With ``right_boundary`` set, rows whose last segment fits also get the
     explicit ``−1`` boundary row of the exact-boundary extension.
+
+    ``var_groups`` / ``group_anchors`` implement fence regions on top of
+    the same machinery: ``var_groups[v]`` assigns every variable to a
+    fence group (−1 = unfenced) and ``group_anchors[g][row]`` holds that
+    group's obstacle intervals (the fence complement for members, the
+    fence rects themselves for the unfenced group, both merged with the
+    fixed-cell intervals).  Each row's sequence is partitioned *by group
+    before* splitting at anchors, so no adjacency constraint ever couples
+    cells across a fence boundary — the coupling graph falls apart into
+    per-fence components by construction.
     """
     anchors = anchors or {}
     n = model.num_variables
@@ -101,10 +117,16 @@ def build_constraints(
     # clusters toward the conflict.  The joint lower (computed against the
     # union of the spanned rows' obstacles) steers every subcell into a
     # consistent position via its effective target.
-    joint_lower = _joint_lowers(model, anchors, x_origin)
+    joint_lower = _joint_lowers(
+        model, anchors, x_origin,
+        var_groups=var_groups, group_anchors=group_anchors,
+    )
     jl = np.zeros(n)
     for var, bound in joint_lower.items():
         jl[var] = bound
+    group_order: List[int] = (
+        sorted(group_anchors) if group_anchors is not None else []
+    )
 
     # First pass: route every row into segments and record emission-
     # ordered chunks — ("pairs", seg) emits one adjacency row per
@@ -120,10 +142,22 @@ def build_constraints(
         seq = model.row_sequence[row]
         if not seq:
             continue
-        segments = _split_by_anchors(
-            model, seq, anchors.get(row, ()),
-            jl=jl, widths=widths, targets=targets,
-        )
+        if var_groups is None:
+            parts = [(seq, anchors.get(row, ()))]
+        else:
+            parts = []
+            for g in group_order:
+                sub = [v for v in seq if var_groups[v] == g]
+                if sub:
+                    parts.append((sub, group_anchors[g].get(row, ())))
+        segments = [
+            segment
+            for part_seq, part_obstacles in parts
+            for segment in _split_by_anchors(
+                model, part_seq, part_obstacles,
+                jl=jl, widths=widths, targets=targets,
+            )
+        ]
         for seg_vars, seg_lo, seg_hi in segments:
             if not seg_vars:
                 continue
@@ -216,19 +250,30 @@ def _joint_lowers(
     model: SubcellModel,
     anchors: Dict[int, List[Tuple[float, float]]],
     x_origin: float,
+    var_groups: Optional[np.ndarray] = None,
+    group_anchors: Optional[Dict[int, Dict[int, List[Tuple[float, float]]]]] = None,
 ) -> Dict[int, float]:
     """Joint left bound per multi-row subcell, against the union of the
-    obstacles of every row the cell spans."""
+    obstacles of every row the cell spans.
+
+    In grouped (fence) mode each cell is measured against *its own
+    group's* obstacle map, so a fenced double-height cell is steered by
+    the fence complement, not by another group's geometry.
+    """
     joint: Dict[int, float] = {}
-    if not anchors:
+    if not anchors and group_anchors is None:
         return joint
     for cell_id, vars_of_cell in model.by_cell.items():
         if len(vars_of_cell) < 2:
             continue
         cell = model.subcells[vars_of_cell[0]].cell
+        if var_groups is not None:
+            cell_anchors = group_anchors[int(var_groups[vars_of_cell[0]])]
+        else:
+            cell_anchors = anchors
         merged: List[Tuple[float, float]] = []
         for var in vars_of_cell:
-            merged.extend(anchors.get(model.subcells[var].row, ()))
+            merged.extend(cell_anchors.get(model.subcells[var].row, ()))
         if not merged:
             continue
         merged.sort()
@@ -359,8 +404,14 @@ def build_legalization_qp(
     E = model.equality_matrix()
     right = design.core.width if enforce_right_boundary else None
     anchors = fixed_cell_anchors(design) if respect_fixed else None
+    var_groups = group_anchors = None
+    if design.fences:
+        var_groups, group_anchors = fence_group_anchors(
+            design, model, anchors or {}
+        )
     B, b, lower = build_constraints(
-        model, right_boundary=right, anchors=anchors, x_origin=x_origin
+        model, right_boundary=right, anchors=anchors, x_origin=x_origin,
+        var_groups=var_groups, group_anchors=group_anchors,
     )
     H = sp.identity(n, format="csr") + lam * (E.T @ E)
     # Targets are clamped into the variable's segment: a cell whose GP
@@ -370,7 +421,8 @@ def build_legalization_qp(
     p = -np.maximum(model.target_array(x_origin) - lower, 0.0)
     qp = QPProblem(H=H, p=p, B=B, b=b)
     return LegalizationQP(
-        qp=qp, E=E, lam=lam, x_origin=x_origin, model=model, lower=lower
+        qp=qp, E=E, lam=lam, x_origin=x_origin, model=model, lower=lower,
+        var_groups=var_groups,
     )
 
 
@@ -384,6 +436,77 @@ def initial_point(legal_qp: LegalizationQP, from_gp: bool = True) -> np.ndarray:
     if not from_gp:
         return np.zeros(legal_qp.num_variables)
     return -legal_qp.qp.p.copy()
+
+
+def fence_group_anchors(
+    design: Design,
+    model: SubcellModel,
+    fixed_anchors: Dict[int, List[Tuple[float, float]]],
+) -> "tuple[np.ndarray, Dict[int, Dict[int, List[Tuple[float, float]]]]]":
+    """Per-variable fence groups and per-group obstacle maps.
+
+    Returns ``(var_groups, group_anchors)`` for
+    :func:`build_constraints`'s grouped mode:
+
+    * ``var_groups[v]`` is the fence index of variable ``v``'s cell, or
+      −1 for unfenced cells;
+    * ``group_anchors[g][row]`` merges the fixed-cell intervals with the
+      group's blocked region in shifted coordinates — for fence members
+      the *complement* of the fence's coverage (so the y ≥ 0 bound plus
+      segment routing confine them to the fence), for the unfenced group
+      the fence rects themselves (so outsiders flow around every fence).
+
+    Leading/trailing complement pieces that touch the chip edges are
+    included only when non-degenerate; the fence's own right edge is
+    relaxed exactly like the chip edge and repaired by the fence-aware
+    Tetris stage.
+    """
+    core = design.core
+    chip_w = core.width
+    eps = 1e-9 * max(core.site_width, 1.0)
+    membership = design.fence_index_by_cell_id()
+    var_groups = np.full(model.num_variables, -1, dtype=np.intp)
+    for var, sub in enumerate(model.subcells):
+        var_groups[var] = membership.get(sub.cell.id, -1)
+
+    rows = sorted(model.row_sequence)
+    group_anchors: Dict[int, Dict[int, List[Tuple[float, float]]]] = {}
+    for g in sorted(set(var_groups.tolist())):
+        per_row: Dict[int, List[Tuple[float, float]]] = {}
+        for row in rows:
+            blocked = list(fixed_anchors.get(row, ()))
+            if g >= 0:
+                spans = [
+                    (lo - core.xl, hi - core.xl)
+                    for lo, hi in design.fences[g].row_spans(core, row)
+                ]
+                prev = 0.0
+                for lo, hi in spans:
+                    if lo > prev + eps:
+                        blocked.append((prev, lo))
+                    prev = max(prev, hi)
+                if prev < chip_w - eps:
+                    blocked.append((prev, chip_w))
+                if not spans:
+                    blocked = [(0.0, chip_w)]
+            else:
+                for fence in design.fences:
+                    blocked.extend(
+                        (lo - core.xl, hi - core.xl)
+                        for lo, hi in fence.row_overlap_spans(core, row)
+                    )
+            if not blocked:
+                continue
+            blocked.sort()
+            merged: List[Tuple[float, float]] = []
+            for lo, hi in blocked:
+                if merged and lo <= merged[-1][1] + eps:
+                    merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+                else:
+                    merged.append((lo, hi))
+            per_row[row] = merged
+        group_anchors[g] = per_row
+    return var_groups, group_anchors
 
 
 def fixed_cell_anchors(design: Design) -> Dict[int, List[Tuple[float, float]]]:

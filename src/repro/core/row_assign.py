@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.netlist.cell import CellInstance
-from repro.netlist.design import Design
+from repro.netlist.design import Design, FenceRegion
 from repro.rows.core_area import InfeasibleAssignment
 
 
@@ -56,9 +56,18 @@ def assign_rows(design: Design) -> RowAssignment:
     """
     core = design.core
     assignment = RowAssignment()
+    membership = design.fence_index_by_cell_id()
     for cell in design.movable_cells:
+        fence = (
+            design.fences[membership[cell.id]]
+            if cell.id in membership
+            else None
+        )
         try:
-            row = core.nearest_correct_row(cell.master, cell.gp_y)
+            if fence is not None:
+                row = _nearest_fence_row(design, cell, fence)
+            else:
+                row = core.nearest_correct_row(cell.master, cell.gp_y)
         except InfeasibleAssignment as exc:
             raise exc.for_cell(cell.name) from None
         cell.row_index = row
@@ -83,3 +92,58 @@ def assign_rows(design: Design) -> RowAssignment:
     for row_cells in assignment.occupied.values():
         row_cells.sort(key=lambda c: (c.gp_x, c.id))
     return assignment
+
+
+def _nearest_fence_row(
+    design: Design, cell: CellInstance, fence: FenceRegion
+) -> int:
+    """Nearest correct bottom row where the cell's full span has fence
+    coverage wide enough to hold it.
+
+    Like :meth:`CoreArea.nearest_correct_row` but the fit range is the
+    fence region, not the core: every spanned row must be covered by the
+    fence, and the x-intervals common to all spanned rows must admit the
+    cell's width somewhere.
+    """
+    core = design.core
+    best = None
+    best_cost = None
+    for row in core.correct_rows(cell.master):
+        spans = fence.row_spans(core, row)
+        for r in range(row + 1, row + cell.height_rows):
+            if not spans:
+                break
+            upper = fence.row_spans(core, r)
+            spans = _intersect_spans(spans, upper)
+        if not any(hi - lo >= cell.width - 1e-9 * core.site_width
+                   for lo, hi in spans):
+            continue
+        cost = abs(core.row_y(row) - cell.gp_y)
+        if best is None or cost < best_cost:
+            best, best_cost = row, cost
+    if best is None:
+        raise InfeasibleAssignment(
+            cell.master.name,
+            cell.master.height_rows,
+            core.num_rows,
+            bottom_rail=(
+                cell.master.bottom_rail if cell.master.is_even_height else None
+            ),
+        )
+    return best
+
+
+def _intersect_spans(a, b):
+    """Intersect two sorted disjoint (lo, hi) span lists."""
+    out = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        lo = max(a[i][0], b[j][0])
+        hi = min(a[i][1], b[j][1])
+        if hi > lo:
+            out.append((lo, hi))
+        if a[i][1] < b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return out

@@ -251,11 +251,18 @@ def _rows_to_components(M: sp.csr_matrix, labels: np.ndarray) -> np.ndarray:
 
 
 def _batch_components(
-    labels: np.ndarray, num_comp: int, min_shard_variables: int
+    labels: np.ndarray,
+    num_comp: int,
+    min_shard_variables: int,
+    comp_group: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, int]:
     """Greedily merge components (in first-variable order) into shards of
     at least ``min_shard_variables`` variables.  Returns
     ``(shard_of_component, num_shards)``.
+
+    ``comp_group`` (one label per component, e.g. the fence group) makes
+    merging group-aware: a shard never mixes components of different
+    groups, so each fence region always legalizes as its own shard set.
     """
     n = len(labels)
     sizes = np.bincount(labels, minlength=num_comp)
@@ -265,10 +272,13 @@ def _batch_components(
     shard_of_comp = np.zeros(num_comp, dtype=np.intp)
     shard = 0
     acc = 0
+    group = None
     for comp in order:
-        if acc >= min_shard_variables:
+        comp_g = comp_group[comp] if comp_group is not None else None
+        if acc > 0 and (acc >= min_shard_variables or comp_g != group):
             shard += 1
             acc = 0
+        group = comp_g
         shard_of_comp[comp] = shard
         acc += sizes[comp]
     return shard_of_comp, shard + 1
@@ -286,8 +296,14 @@ def build_shards(
     fast_kernels: bool = True,
     lazy: bool = False,
     reuse: Optional[ReuseCache] = None,
+    var_groups: Optional[np.ndarray] = None,
 ) -> ShardedKKT:
     """Partition the legalization KKT LCP into independent shards.
+
+    ``var_groups`` (a per-variable group label, e.g. the fence index with
+    −1 for unfenced) keeps shard batching from merging components across
+    group boundaries; within a coupling component the label is uniform by
+    construction (no constraint couples across a fence).
 
     Each shard carries its own :class:`LCP` and prefactorized
     :class:`LegalizationSplitting`; relative variable and constraint order
@@ -316,8 +332,12 @@ def build_shards(
     m = B.shape[0]
 
     num_comp, labels = coupling_components(B, E, n)
+    comp_group = None
+    if var_groups is not None:
+        comp_group = np.zeros(num_comp, dtype=np.intp)
+        comp_group[labels] = np.asarray(var_groups, dtype=np.intp)
     shard_of_comp, num_shards = _batch_components(
-        labels, num_comp, min_shard_variables
+        labels, num_comp, min_shard_variables, comp_group=comp_group
     )
     var_shard = shard_of_comp[labels]
     b_shard = shard_of_comp[_rows_to_components(B, labels)]
@@ -382,9 +402,17 @@ def shard_legalization_qp(
     fast_kernels: bool = True,
     lazy: bool = False,
     reuse: Optional[ReuseCache] = None,
+    var_groups: Optional[np.ndarray] = None,
 ) -> ShardedKKT:
-    """Shard a :class:`repro.core.qp_builder.LegalizationQP`."""
+    """Shard a :class:`repro.core.qp_builder.LegalizationQP`.
+
+    When *var_groups* is not given, the QP's own per-variable fence
+    groups (if any) are used, so fenced designs shard group-aware by
+    default.
+    """
     qp = legal_qp.qp
+    if var_groups is None:
+        var_groups = getattr(legal_qp, "var_groups", None)
     return build_shards(
         qp.H,
         qp.p,
@@ -397,6 +425,7 @@ def shard_legalization_qp(
         fast_kernels=fast_kernels,
         lazy=lazy,
         reuse=reuse,
+        var_groups=var_groups,
     )
 
 

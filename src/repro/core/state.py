@@ -76,6 +76,14 @@ def design_fingerprint(design: Design) -> str:
                 f"|{rail.value if rail is not None else '-'}|{int(cell.fixed)}\n"
             ).encode()
         )
+    # Fences shape the constraint layout (per-group anchors and shard
+    # batching), so a fence edit must invalidate warm-start state.
+    for fence in design.fences:
+        h.update(
+            repr(
+                (fence.name, fence.rects, tuple(sorted(fence.members)))
+            ).encode()
+        )
     return h.hexdigest()
 
 

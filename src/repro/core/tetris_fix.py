@@ -37,6 +37,10 @@ class TetrisFixStats:
     num_cells: int = 0
     num_illegal: int = 0
     num_unplaced: int = 0
+    #: Fence members that entered the fixing passes (their snapped MMSIM
+    #: position collided inside the fence) — the ``fence.spill_cells``
+    #: telemetry counter.
+    fence_spill_cells: int = 0
     #: Total Manhattan distance movable cells moved during the fixing
     #: passes (nearest-free re-placement, compaction, eviction, and the
     #: PlaceRow refinement) — every move is charged, not just the
@@ -50,10 +54,72 @@ class TetrisFixStats:
 
 
 def tetris_allocate(design: Design) -> TetrisFixStats:
-    """Run the Tetris-like allocation in place; returns fix statistics."""
+    """Run the Tetris-like allocation in place; returns fix statistics.
+
+    With fence regions each fence group gets its *own* :class:`SiteMap`:
+    sites outside a member's fence (and partially-covered boundary sites)
+    are blocked for that member, and sites inside any fence are blocked
+    for unfenced movable cells.  Because the groups' allowed site sets
+    are disjoint, committing a cell only into its group's map is safe —
+    no cross-group overlap can arise.
+    """
     core = design.core
     site_map = SiteMap(core)
     stats = TetrisFixStats(num_cells=len(design.movable_cells))
+    membership = design.fence_index_by_cell_id() if design.fences else {}
+    maps = {-1: site_map}
+    # Per-group forbidden x-intervals, mirroring each map's blocked sites;
+    # the group-aware compaction fallback needs them as explicit barriers.
+    blocked_x = {-1: {}}
+    eps_x = site_tolerance(core) / core.site_width
+
+    def _to_x(site: int) -> float:
+        return core.xl + site * core.site_width
+
+    if design.fences:
+        for row in range(core.num_rows):
+            for fence in design.fences:
+                # Unfenced cells must avoid every site a fence touches.
+                for lo, hi in fence.row_overlap_spans(core, row):
+                    s_lo = max(
+                        0, int(math.floor((lo - core.xl) / core.site_width + eps_x))
+                    )
+                    s_hi = min(
+                        core.num_sites,
+                        int(math.ceil((hi - core.xl) / core.site_width - eps_x)),
+                    )
+                    if s_hi > s_lo:
+                        site_map.block(row, s_lo, s_hi - s_lo)
+                        blocked_x[-1].setdefault(row, []).append(
+                            (_to_x(s_lo), _to_x(s_hi))
+                        )
+        for gi, fence in enumerate(design.fences):
+            fence_map = SiteMap(core)
+            blocked_x[gi] = {}
+            for row in range(core.num_rows):
+                # Members may use only sites *fully* inside the fence:
+                # block the complement, including partially-covered
+                # boundary sites.
+                prev = 0
+                for lo, hi in fence.row_spans(core, row):
+                    s_lo = int(math.ceil((lo - core.xl) / core.site_width - eps_x))
+                    s_hi = int(math.floor((hi - core.xl) / core.site_width + eps_x))
+                    s_lo = max(s_lo, 0)
+                    s_hi = min(s_hi, core.num_sites)
+                    if s_hi <= s_lo:
+                        continue
+                    if s_lo > prev:
+                        fence_map.block(row, prev, s_lo - prev)
+                        blocked_x[gi].setdefault(row, []).append(
+                            (_to_x(prev), _to_x(s_lo))
+                        )
+                    prev = max(prev, s_hi)
+                if prev < core.num_sites:
+                    fence_map.block(row, prev, core.num_sites - prev)
+                    blocked_x[gi].setdefault(row, []).append(
+                        (_to_x(prev), _to_x(core.num_sites))
+                    )
+            maps[gi] = fence_map
 
     # Fixed cells are obstacles: block their footprints first.  A fixed
     # cell need not be row- or site-aligned (macros and pre-placed blocks
@@ -67,7 +133,6 @@ def tetris_allocate(design: Design) -> TetrisFixStats:
     # (e.g. yl ~ 5e7 with sub-unit rows), where the float rounding of
     # (y - yl) / row_height exceeds it and an aligned obstacle on row k
     # appears to touch row k - 1 as well.
-    eps_x = site_tolerance(core) / core.site_width
     eps_y = row_tolerance(core) / core.row_height
     for cell in design.cells:
         if not cell.fixed:
@@ -89,12 +154,15 @@ def tetris_allocate(design: Design) -> TetrisFixStats:
         if site_hi <= site_lo:
             continue
         for row in range(max(row_lo, 0), min(row_hi, core.num_rows)):
-            site_map.block(row, site_lo, site_hi - site_lo)
+            # Macros and obstacles block every group's map alike.
+            for group_map in maps.values():
+                group_map.block(row, site_lo, site_hi - site_lo)
 
     # Pass 1: snap to sites and commit in x order; collect illegal cells.
     order = sorted(design.movable_cells, key=lambda c: (c.x, c.id))
     illegal: List[CellInstance] = []
     for cell in order:
+        cell_map = maps[membership.get(cell.id, -1)]
         if cell.row_index is None:
             try:
                 cell.row_index = core.nearest_correct_row(cell.master, cell.y)
@@ -103,10 +171,10 @@ def tetris_allocate(design: Design) -> TetrisFixStats:
             cell.y = core.row_y(cell.row_index)
         snapped = core.snap_x(cell.x)
         site = int(round((snapped - core.xl) / core.site_width))
-        n_sites = site_map.sites_of_width(cell.width)
-        if site_map.footprint_free(cell.row_index, site, n_sites, cell.height_rows):
+        n_sites = cell_map.sites_of_width(cell.width)
+        if cell_map.footprint_free(cell.row_index, site, n_sites, cell.height_rows):
             cell.x = snapped
-            site_map.occupy_cell(cell, cell.row_index, site)
+            cell_map.occupy_cell(cell, cell.row_index, site)
         else:
             illegal.append(cell)
 
@@ -129,7 +197,34 @@ def tetris_allocate(design: Design) -> TetrisFixStats:
     used_compaction = False
     for cell in illegal:
         pending.discard(cell.id)
-        if place_at_nearest_free(cell, design, site_map, stats):
+        cell_map = maps[membership.get(cell.id, -1)]
+        if membership.get(cell.id) is not None:
+            stats.fence_spill_cells += 1
+        if place_at_nearest_free(cell, design, cell_map, stats):
+            continue
+        if design.fences:
+            # Compaction and eviction must stay inside this cell's group:
+            # same-group cells are the only movable neighbours (everything
+            # else lives inside this group's blocked intervals, which act
+            # as immovable barriers), and all moves go through the group's
+            # own map.
+            gi = membership.get(cell.id, -1)
+
+            def group(other, _gi=gi):
+                return membership.get(other.id, -1) == _gi
+            if compact_rows_and_place(
+                design, cell_map, cell, ignore=pending,
+                eligible=group, blocked=blocked_x[gi],
+            ):
+                used_compaction = True
+                continue
+            if evict_and_place(
+                design, cell_map, cell, ignore=pending,
+                eligible=group, blocked=blocked_x[gi],
+            ):
+                used_compaction = True
+                continue
+            stats.num_unplaced += 1
             continue
         if compact_rows_and_place(design, site_map, cell, ignore=pending):
             used_compaction = True
@@ -139,7 +234,7 @@ def tetris_allocate(design: Design) -> TetrisFixStats:
             continue
         stats.num_unplaced += 1
 
-    if used_compaction and stats.num_unplaced == 0:
+    if used_compaction and stats.num_unplaced == 0 and not design.fences:
         # Compaction slams whole row spans flush left — legal but far from
         # the displacement optimum.  A row-local PlaceRow refinement pulls
         # everything back toward the GP targets at no legality risk.

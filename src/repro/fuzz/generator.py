@@ -29,12 +29,17 @@ The scenario space deliberately over-samples the flow's hard edges:
     core, or an even-height master whose only fit row has the wrong
     rail).  The oracle asserts these fail with a *structured*
     :class:`~repro.rows.InfeasibleAssignment` naming the cell.
+``fences``
+    Benchgen instances with fence regions and fixed macros — the
+    constraint-family extension.  Exercises per-group QP anchors,
+    group-aware sharding, and the fence-on vs pre-sliced equivalence
+    oracle.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -46,12 +51,13 @@ from repro.rows.power import RailScheme
 
 #: kind -> sampling weight (normalized below).
 KIND_WEIGHTS = {
-    "benchgen": 0.28,
-    "adversarial": 0.30,
+    "benchgen": 0.26,
+    "adversarial": 0.28,
     "single_row": 0.10,
-    "tiny_sites": 0.10,
-    "extreme_origin": 0.12,
-    "infeasible": 0.10,
+    "tiny_sites": 0.09,
+    "extreme_origin": 0.10,
+    "infeasible": 0.09,
+    "fences": 0.08,
 }
 
 _KINDS = sorted(KIND_WEIGHTS)
@@ -79,10 +85,26 @@ class Scenario:
         return f"seed={self.seed} kind={self.kind} knobs={self.knobs}"
 
 
-def generate_scenario(seed: int) -> Scenario:
-    """Sample one scenario from the given seed (deterministic)."""
+def generate_scenario(seed: int, kinds: Optional[Sequence[str]] = None) -> Scenario:
+    """Sample one scenario from the given seed (deterministic).
+
+    ``kinds`` restricts sampling to a subset of scenario kinds (weights
+    renormalized) — the CI fuzz-smoke matrix uses it to dedicate lanes
+    to specific kinds (e.g. fence-enabled runs).
+    """
     rng = np.random.default_rng(seed)
-    kind = _KINDS[int(rng.choice(len(_KINDS), p=_PROBS))]
+    if kinds is None:
+        kind = _KINDS[int(rng.choice(len(_KINDS), p=_PROBS))]
+    else:
+        unknown = sorted(set(kinds) - set(KIND_WEIGHTS))
+        if unknown:
+            raise ValueError(
+                f"unknown scenario kind(s) {unknown}; "
+                f"choose from {sorted(KIND_WEIGHTS)}"
+            )
+        allowed = sorted(set(kinds))
+        probs = np.array([KIND_WEIGHTS[k] for k in allowed])
+        kind = allowed[int(rng.choice(len(allowed), p=probs / probs.sum()))]
     sub_seed = int(rng.integers(0, 2**31 - 1))
     knobs = _KNOB_SAMPLERS[kind](rng, sub_seed)
     return Scenario(
@@ -134,6 +156,7 @@ def _knobs_adversarial(rng: np.random.Generator, sub_seed: int) -> Dict[str, Any
         n_fixed=int(rng.integers(0, 5)),
         offgrid_fixed=off_grid,
         outside_fixed=bool(rng.random() < 0.25),
+        overlap_fixed=bool(rng.random() < 0.2),
         gp_sigma_sites=float(rng.uniform(0.3, 4.0)),
         gp_sigma_rows=float(rng.uniform(0.05, 1.2)),
     )
@@ -180,6 +203,21 @@ def _knobs_extreme_origin(rng: np.random.Generator, sub_seed: int) -> Dict[str, 
     return knobs
 
 
+def _knobs_fences(rng: np.random.Generator, sub_seed: int) -> Dict[str, Any]:
+    knobs = _knobs_benchgen(rng, sub_seed)
+    knobs.update(
+        target=int(rng.integers(30, 80)),
+        fences=int(rng.integers(1, 3)),
+        macro_fraction=float(rng.choice([0.0, 0.1, 0.2])),
+        blockage_fraction=0.0,
+    )
+    profile = get_profile(knobs["profile"])
+    knobs["scale"] = float(
+        max(knobs.pop("target") / max(profile.num_cells, 1), 1e-4)
+    )
+    return knobs
+
+
 def _knobs_infeasible(rng: np.random.Generator, sub_seed: int) -> Dict[str, Any]:
     knobs = _core_knobs(rng)
     knobs.update(
@@ -200,6 +238,7 @@ _KNOB_SAMPLERS = {
     "tiny_sites": _knobs_tiny_sites,
     "extreme_origin": _knobs_extreme_origin,
     "infeasible": _knobs_infeasible,
+    "fences": _knobs_fences,
 }
 
 
@@ -214,6 +253,8 @@ def _build_benchgen(knobs: Dict[str, Any]) -> Design:
         mixed=knobs["mixed"],
         triple_fraction=knobs["triple_fraction"],
         blockage_fraction=knobs["blockage_fraction"],
+        fences=knobs.get("fences", 0),
+        macro_fraction=knobs.get("macro_fraction", 0.0),
     )
 
 
@@ -304,6 +345,19 @@ def _build_adversarial(knobs: Dict[str, Any]) -> Design:
         cell = placed[fixed[-1]]
         cell.gp_x = cell.x = core.xh - 0.5 * cell.width
         cell.gp_y = cell.y = core.yl - 0.4 * cell.height(core.row_height)
+    if fixed and knobs.get("overlap_fixed"):
+        # Overlapping fixed obstacles are a legal input (the interval
+        # machinery unions them); add a site-aligned twin half-overlapping
+        # the first obstacle to exercise that path end to end.
+        anchor = placed[fixed[0]]
+        w_sites = max(1, int(round(anchor.width / core.site_width)))
+        design.add_cell(
+            "fxdup",
+            anchor.master,
+            anchor.x + (w_sites // 2) * core.site_width,
+            anchor.y,
+            fixed=True,
+        )
 
     sx = knobs["gp_sigma_sites"] * core.site_width
     sy = knobs["gp_sigma_rows"] * core.row_height
@@ -361,6 +415,7 @@ _BUILDERS = {
     "tiny_sites": _build_adversarial,
     "extreme_origin": _build_adversarial,
     "infeasible": _build_infeasible,
+    "fences": _build_benchgen,
 }
 
 
@@ -394,6 +449,13 @@ def translate_design(design: Design, dx_sites: int, dy_rows: int) -> Design:
         )
         new.x = cell.x + dx
         new.y = cell.y + dy
+    for fence in design.fences:
+        out.add_fence(
+            fence.name,
+            [(xl + dx, yl + dy, xh + dx, yh + dy)
+             for (xl, yl, xh, yh) in fence.rects],
+            fence.members,
+        )
     return out
 
 
@@ -407,4 +469,6 @@ def relegalization_input(design: Design) -> Design:
         new = out.add_cell(cell.name, cell.master, cell.x, cell.y, fixed=cell.fixed)
         new.x = cell.x
         new.y = cell.y
+    for fence in design.fences:
+        out.add_fence(fence.name, fence.rects, fence.members)
     return out

@@ -47,6 +47,8 @@ class FuzzOptions:
     corpus_dir: Optional[str] = None
     #: Stop the campaign after this many failing cases.
     max_failures: int = 10
+    #: Restrict scenario sampling to these kinds (None = full mix).
+    kinds: Optional[List[str]] = None
     oracle: OracleOptions = field(default_factory=OracleOptions)
 
 
@@ -233,7 +235,7 @@ def run_fuzz(opts: Optional[FuzzOptions] = None) -> FuzzReport:
         if len(report.failing) >= opts.max_failures:
             break
         case_start = time.monotonic()
-        scenario = generate_scenario(seed)
+        scenario = generate_scenario(seed, kinds=opts.kinds)
         metrics.counter("fuzz.cases").inc()
         case_report = run_oracle(scenario, opts.oracle, stale_state=stale_state)
         outcome = CaseOutcome(

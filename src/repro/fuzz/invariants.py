@@ -33,6 +33,7 @@ INVARIANTS = (
     "roundtrip",                # Bookshelf write -> read -> legalize differs
     "warm_start",               # fresh same-design state rejected or divergent
     "stale_state",              # stale state not rejected / perturbed the run
+    "fence_slices",             # fence-on run != pre-sliced per-group runs
 )
 
 

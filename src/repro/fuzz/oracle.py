@@ -192,6 +192,13 @@ def oracle_configs(opts: OracleOptions) -> List[Tuple[str, LegalizerConfig, str]
         # reruns with the cache — the cached Woodbury/pttrf setups must
         # reproduce the cold baseline bit-for-bit.
         ("reuse", base(), "identity"),
+        # Executed specially (see _check_fence_slices): on fenced designs
+        # the fence-on baseline is compared against one run per fence
+        # group on a manually pre-sliced design (the group's movable
+        # cells + every fixed cell + the relevant fence specs).  Group
+        # partitioning makes the constraint systems identical, so every
+        # cell's final position must match bit-for-bit.
+        ("fence_slices", base(), "sliced"),
     ]
     if opts.configs is not None:
         keep = set(opts.configs) | {"baseline"}
@@ -270,6 +277,8 @@ def run_oracle_design(
 
     runs: Dict[str, RunRecord] = {}
     for name, cfg, group in oracle_configs(opts):
+        if name == "fence_slices":
+            continue  # needs the finished baseline; runs below
         if name == "reuse":
             # Cold warm-up populates the cache; the rerun on a fresh
             # build must then reproduce the baseline bit-for-bit while
@@ -313,6 +322,8 @@ def run_oracle_design(
         _check_idempotence(base, opts, report)
     if opts.roundtrip and opts.wants("roundtrip"):
         _check_roundtrip(base, opts, report)
+    if any(name == "fence_slices" for name, _, _ in oracle_configs(opts)):
+        _check_fence_slices(factory, base, opts, report)
     _check_warm_start(factory, base, opts, report)
     if stale_state is not None:
         _check_stale_state(factory, base, stale_state, opts, report)
@@ -582,6 +593,80 @@ def _check_idempotence(
             return
 
 
+def _fence_slices(design: Design) -> List[Tuple[str, Design]]:
+    """Pre-sliced per-group designs equivalent to the fenced *design*.
+
+    One slice per fence (its movable members + every fixed cell + the
+    fence itself) plus one slice for the unfenced cells (which keeps
+    every fence as a member-less exclusion zone).  Slices copy the GP
+    positions, so legalizing a slice reproduces exactly the group's
+    partition of the full design's constraint systems.
+    """
+    membership = design.fence_index_by_cell_id()
+    slices: List[Tuple[str, Design]] = []
+    for gi, fence in enumerate(design.fences):
+        out = Design(name=f"{design.name}_fg{gi}", core=design.core)
+        present = []
+        for cell in design.cells:
+            if cell.fixed or membership.get(cell.id) == gi:
+                new = out.add_cell(
+                    cell.name, cell.master, cell.gp_x, cell.gp_y,
+                    fixed=cell.fixed,
+                )
+                new.x, new.y = cell.x, cell.y
+                if not cell.fixed:
+                    present.append(cell.name)
+        out.add_fence(fence.name, fence.rects, present)
+        slices.append((f"fence {fence.name!r}", out))
+    out = Design(name=f"{design.name}_fgu", core=design.core)
+    for cell in design.cells:
+        if cell.fixed or cell.id not in membership:
+            new = out.add_cell(
+                cell.name, cell.master, cell.gp_x, cell.gp_y, fixed=cell.fixed
+            )
+            new.x, new.y = cell.x, cell.y
+    for fence in design.fences:
+        out.add_fence(fence.name, fence.rects, [])
+    slices.append(("unfenced group", out))
+    return slices
+
+
+def _check_fence_slices(
+    factory: Callable[[], Design],
+    base: RunRecord,
+    opts: OracleOptions,
+    report: CaseReport,
+) -> None:
+    if not opts.wants("fence_slices") or not base.design.fences:
+        return
+    report.configs_run.append("fence_slices")
+    legalized = {c.name: c for c in base.design.cells}
+    for label, slice_design in _fence_slices(factory()):
+        rec = _execute(
+            "fence_slices", "sliced", _baseline_config(opts), slice_design
+        )
+        if rec.error is not None:
+            report.add(
+                "fence_slices", "fence_slices",
+                f"pre-sliced run ({label}) raised "
+                f"{type(rec.error).__name__}: {rec.error}",
+            )
+            return
+        for cell in slice_design.cells:
+            if cell.fixed:
+                continue
+            ref = legalized[cell.name]
+            if (cell.x, cell.y, cell.flipped) != (ref.x, ref.y, ref.flipped):
+                report.add(
+                    "fence_slices", "fence_slices",
+                    f"pre-sliced run ({label}) placed {cell.name} at "
+                    f"({cell.x!r}, {cell.y!r}, flip={cell.flipped}) but the "
+                    f"fence-on run chose ({ref.x!r}, {ref.y!r}, "
+                    f"flip={ref.flipped})",
+                )
+                return
+
+
 def _check_roundtrip(
     base: RunRecord, opts: OracleOptions, report: CaseReport
 ) -> None:
@@ -591,6 +676,8 @@ def _check_roundtrip(
         for cell in src.cells:
             fresh.add_cell(cell.name, cell.master, cell.gp_x, cell.gp_y,
                            fixed=cell.fixed)
+        for fence in src.fences:
+            fresh.add_fence(fence.name, fence.rects, fence.members)
         aux = write_design(fresh, tmp, basename="rt")
         reread = read_design(aux)
     # Coordinate fidelity first: the writer promises bitwise round-trips

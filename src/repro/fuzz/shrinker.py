@@ -49,7 +49,22 @@ def subset_design(design: Design, keep: Sequence[int]) -> Design:
         )
         new.x = cell.x
         new.y = cell.y
+    _copy_fences(design, out)
     return out
+
+
+def _copy_fences(src: Design, out: Design) -> None:
+    """Carry fences over to a rebuilt design, dropping removed members.
+
+    Membership is stored by cell name, so intersecting against the
+    surviving cells keeps shrunken candidates valid (a member name that
+    no longer resolves would fail fence validation).
+    """
+    if not src.fences:
+        return
+    surviving = {cell.name for cell in out.cells if not cell.fixed}
+    for fence in src.fences:
+        out.add_fence(fence.name, fence.rects, fence.members & surviving)
 
 
 def _trim_core(design: Design) -> Optional[Design]:
@@ -90,6 +105,7 @@ def _trim_core(design: Design) -> Optional[Design]:
         )
         new.x = cell.x
         new.y = cell.y
+    _copy_fences(design, out)
     return out
 
 

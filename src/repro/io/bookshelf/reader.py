@@ -39,6 +39,7 @@ def read_design(aux_path: str, name: Optional[str] = None) -> Design:
     scl_path = locate("scl")
     nets_path = locate("nets")
     rails_path = locate("rails")
+    fences_path = locate("fences")
     if not (nodes_path and pl_path and scl_path):
         raise ValueError(f"aux file {aux_path} must reference .nodes, .pl and .scl")
 
@@ -62,6 +63,9 @@ def read_design(aux_path: str, name: Optional[str] = None) -> Design:
     _parse_pl(pl_path, design)
     if nets_path and os.path.exists(nets_path):
         _parse_nets(nets_path, design)
+    if fences_path and os.path.exists(fences_path):
+        _parse_fences(fences_path, design)
+        design.validate_fences()
     return design
 
 
@@ -153,6 +157,37 @@ def _parse_rails(path: str) -> Dict[str, RailType]:
         elif len(tokens) >= 2:
             rails[tokens[0]] = RailType(tokens[1])
     return rails
+
+
+def _parse_fences(path: str, design: Design) -> None:
+    """Parse the ``.fences`` extension file written by the Bookshelf writer."""
+    lines = drop_header(_read_lines(path), "fences")
+    name: Optional[str] = None
+    rects: List[Tuple[float, float, float, float]] = []
+    members: List[str] = []
+    for line in lines:
+        tokens = line.replace(":", " ").split()
+        if not tokens:
+            continue
+        key = tokens[0].lower()
+        if key == "fence":
+            name = tokens[1]
+            rects = []
+            members = []
+        elif key == "end":
+            if name is None:
+                raise ValueError(f"stray End in {path}")
+            design.add_fence(name, rects, members)
+            name = None
+        elif key == "rect":
+            rects.append(
+                (float(tokens[1]), float(tokens[2]),
+                 float(tokens[3]), float(tokens[4]))
+            )
+        elif key == "member":
+            members.extend(tokens[1:])
+        elif name is None:
+            raise ValueError(f"unexpected line in {path}: {line!r}")
 
 
 def _parse_nodes(path: str, design: Design, rails: Dict[str, RailType]) -> None:

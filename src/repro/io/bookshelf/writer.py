@@ -43,12 +43,16 @@ def write_design(
     _write_scl(design, path("scl"))
     _write_nets(design, path("nets"))
     _write_rails(design, path("rails"))
+    extra = ""
+    if design.fences:
+        _write_fences(design, path("fences"))
+        extra = f" {basename}.fences"
 
     aux_path = path("aux")
     with open(aux_path, "w") as fh:
         fh.write(
             f"{AUX_KEY} : {basename}.nodes {basename}.nets "
-            f"{basename}.pl {basename}.scl {basename}.rails\n"
+            f"{basename}.pl {basename}.scl {basename}.rails{extra}\n"
         )
     return aux_path
 
@@ -121,3 +125,27 @@ def _write_rails(design: Design, path: str) -> None:
         for cell in design.cells:
             if cell.master.bottom_rail is not None:
                 fh.write(f"{cell.name} {cell.master.bottom_rail.value}\n")
+
+
+def _write_fences(design: Design, path: str) -> None:
+    """Extension file: fence regions (rect coords round-trip bitwise).
+
+    Layout per fence::
+
+        Fence <name>
+          Rect : <xl> <yl> <xh> <yh>     (one line per rect)
+          Member : <cell> <cell> ...     (repeatable)
+        End
+    """
+    with open(path, "w") as fh:
+        write_header(fh, "fences")
+        for fence in design.fences:
+            fh.write(f"Fence {fence.name}\n")
+            for xl, yl, xh, yh in fence.rects:
+                fh.write(
+                    f"  Rect : {_num(xl)} {_num(yl)} {_num(xh)} {_num(yh)}\n"
+                )
+            members = sorted(fence.members)
+            for start in range(0, len(members), 8):
+                fh.write("  Member : " + " ".join(members[start:start + 8]) + "\n")
+            fh.write("End\n")

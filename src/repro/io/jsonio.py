@@ -70,6 +70,22 @@ def design_to_dict(design: Design) -> Dict[str, Any]:
             }
             for net in design.nets
         ],
+        # Optional: omitted entirely when empty so fence-free payloads are
+        # byte-identical to pre-fence writers (format_version stays 1).
+        **(
+            {
+                "fences": [
+                    {
+                        "name": f.name,
+                        "rects": [list(rect) for rect in f.rects],
+                        "members": sorted(f.members),
+                    }
+                    for f in design.fences
+                ]
+            }
+            if design.fences
+            else {}
+        ),
     }
 
 
@@ -120,6 +136,13 @@ def design_from_dict(data: Dict[str, Any]) -> Design:
             for p in ndata["pins"]
         ]
         design.add_net(ndata["name"], pins)
+    for fdata in data.get("fences", []):
+        design.add_fence(
+            fdata["name"],
+            [tuple(rect) for rect in fdata["rects"]],
+            fdata["members"],
+        )
+    design.validate_fences()
     return design
 
 

@@ -16,6 +16,7 @@ hide from the checker.
 
 from __future__ import annotations
 
+import math
 import sys
 from typing import Dict, List, Tuple
 
@@ -67,6 +68,7 @@ def check_legality(design: Design, check_sites: bool = True) -> LegalityReport:
         _check_alignment(cell, design, report, check_sites)
         _check_rails(cell, design, report)
     _check_overlaps(design, report)
+    _check_fences(design, report)
     return report
 
 
@@ -143,6 +145,56 @@ def _check_rails(cell: CellInstance, design: Design, report: LegalityReport) -> 
         )
 
 
+def _check_fences(design: Design, report: LegalityReport) -> None:
+    """Fence-region constraint (exclusive semantics).
+
+    Members must sit inside their fence's union of rects; movable
+    non-members must avoid every fence's interior.  Fixed cells are
+    exempt — macros and obstacles are inputs, not placements.
+    """
+    if not design.fences:
+        return
+    core = design.core
+    tol_x = site_tolerance(core)
+    tol_y = row_tolerance(core)
+    tol = max(tol_x, tol_y)
+    membership = design.fence_index_by_cell_id()
+    for cell in design.cells:
+        if cell.fixed:
+            continue
+        rect = cell.rect(core.row_height)
+        gi = membership.get(cell.id)
+        if gi is not None:
+            fence = design.fences[gi]
+            if not fence.contains(rect.xl, rect.yl, rect.xh, rect.yh, tol=tol):
+                report.add(
+                    Violation(
+                        kind=ViolationKind.FENCE,
+                        cell_id=cell.id,
+                        amount=cell.width,
+                        message=(
+                            f"cell {cell.name} is a member of fence "
+                            f"{fence.name!r} but lies outside it"
+                        ),
+                    )
+                )
+            continue
+        for fence in design.fences:
+            if fence.overlaps(rect.xl, rect.yl, rect.xh, rect.yh, tol=tol):
+                report.add(
+                    Violation(
+                        kind=ViolationKind.FENCE,
+                        cell_id=cell.id,
+                        amount=cell.width,
+                        message=(
+                            f"cell {cell.name} intrudes into fence "
+                            f"{fence.name!r} it does not belong to"
+                        ),
+                    )
+                )
+                break
+
+
 def _check_overlaps(design: Design, report: LegalityReport) -> None:
     """Row-bucketed interval sweep: O(n log n) per row."""
     core = design.core
@@ -153,10 +205,13 @@ def _check_overlaps(design: Design, report: LegalityReport) -> None:
         # sweep works even for off-row (mid-legalization) placements.
         y_lo = cell.y
         y_hi = cell.y + cell.height(core.row_height)
-        row_lo = max(0, int((y_lo - core.yl) / core.row_height + tol_rows))
+        # floor, not int(): int() truncates toward zero, so a cell entirely
+        # below core.yl would collapse to row_hi = 0 and collide with every
+        # legitimate row-0 occupant.  With floor the range is empty instead.
+        row_lo = max(0, math.floor((y_lo - core.yl) / core.row_height + tol_rows))
         row_hi = min(
             core.num_rows - 1,
-            int((y_hi - core.yl) / core.row_height - tol_rows),
+            math.floor((y_hi - core.yl) / core.row_height - tol_rows),
         )
         for row in range(row_lo, row_hi + 1):
             buckets.setdefault(row, []).append((cell.x, cell.x + cell.width, cell.id))
@@ -170,6 +225,11 @@ def _check_overlaps(design: Design, report: LegalityReport) -> None:
             if overlap > tol:
                 pair = (min(id0, id1), max(id0, id1))
                 if pair in seen_pairs:
+                    continue
+                # Overlapping *fixed* obstacles are a legal input (see
+                # IntervalSet.subtract); only pairs with a movable cell
+                # are placement violations.
+                if design.cells[pair[0]].fixed and design.cells[pair[1]].fixed:
                     continue
                 seen_pairs.add(pair)
                 c0 = design.cells[pair[0]]
@@ -208,6 +268,8 @@ def _sweep_non_adjacent(
             if overlap > tol:
                 pair = (min(aid, cid), max(aid, cid))
                 if pair in seen_pairs:
+                    continue
+                if design.cells[pair[0]].fixed and design.cells[pair[1]].fixed:
                     continue
                 seen_pairs.add(pair)
                 report.add(

@@ -13,13 +13,15 @@ from typing import Dict, List
 
 
 class ViolationKind(Enum):
-    """The four legality constraints of the paper's problem statement."""
+    """The four legality constraints of the paper's problem statement,
+    plus the fence-region constraint of the ISPD-2015 target benchmarks."""
 
     OUT_OF_CORE = "out_of_core"          # constraint (1): inside chip region
     OFF_SITE = "off_site"                # constraint (2): on a placement site
     OFF_ROW = "off_row"                  # constraint (2): aligned to a row
     OVERLAP = "overlap"                  # constraint (3): non-overlapping
     RAIL_MISMATCH = "rail_mismatch"      # constraint (4): power-rail aligned
+    FENCE = "fence"                      # fence region: members in, others out
 
 
 @dataclass(frozen=True)

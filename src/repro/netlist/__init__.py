@@ -1,7 +1,15 @@
 """Design database: cell masters/instances, nets, and the Design container."""
 
 from repro.netlist.cell import CellInstance, CellMaster, RailType
-from repro.netlist.design import Design
+from repro.netlist.design import Design, FenceRegion
 from repro.netlist.net import Net, Pin
 
-__all__ = ["CellMaster", "CellInstance", "RailType", "Net", "Pin", "Design"]
+__all__ = [
+    "CellMaster",
+    "CellInstance",
+    "RailType",
+    "Net",
+    "Pin",
+    "Design",
+    "FenceRegion",
+]

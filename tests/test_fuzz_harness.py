@@ -124,26 +124,27 @@ class TestRevertDetection:
     def test_checker_tolerance_revert_detected(self, monkeypatch):
         """Satellite 4: a fixed grid epsilon false-positives at huge origins.
 
-        Seed 15 is an extreme_origin scenario with site_width=1e-3 at
+        Seed 2 of the extreme_origin kind has site_width=1e-3 at
         xl ~ 1e8, where float rounding of legal snapped positions exceeds
-        GRID_TOL * site_width.
+        GRID_TOL * site_width.  The kind is pinned so the scenario stays
+        stable as the weighted mix evolves.
         """
         monkeypatch.setattr(checker, "site_tolerance",
                             lambda core: checker.GRID_TOL * core.site_width)
         monkeypatch.setattr(checker, "row_tolerance",
                             lambda core: checker.GRID_TOL * core.row_height)
-        report = run_oracle(generate_scenario(15), FAST)
+        report = run_oracle(generate_scenario(2, kinds=["extreme_origin"]), FAST)
         assert "legality" in report.invariant_names()
 
     def test_tetris_blocking_revert_detected(self, monkeypatch):
         """Obstacle-blocking fix: fixed 1e-9 eps + exclusive occupy() crash
-        on aligned fixed cells at extreme origins (seed 0)."""
+        on aligned fixed cells at extreme origins (pinned kind, seed 6)."""
         monkeypatch.setattr(tetris_fix, "site_tolerance",
                             lambda core: 1e-9 * core.site_width)
         monkeypatch.setattr(tetris_fix, "row_tolerance",
                             lambda core: 1e-9 * core.row_height)
         monkeypatch.setattr(SiteMap, "block", SiteMap.occupy)
-        report = run_oracle(generate_scenario(0), FAST)
+        report = run_oracle(generate_scenario(6, kinds=["extreme_origin"]), FAST)
         assert "crash" in report.invariant_names()
 
     def test_structured_infeasibility_revert_detected(self, monkeypatch):
