@@ -84,10 +84,24 @@ def check(
             f"profile mismatch: new={new.get('profile')!r} "
             f"baseline={base.get('profile')!r}"
         )
+    # Backends time differently by design; a fused run against a
+    # reference baseline (or vice versa) would mis-normalize the machine
+    # factor and hide or invent regressions.  Only like-for-like
+    # comparisons are meaningful.
+    new_backend = new.get("kernel_backend", "reference")
+    base_backend = base.get("kernel_backend", "reference")
+    if new_backend != base_backend:
+        failures.append(
+            f"kernel backend mismatch: new report ran {new_backend!r} but "
+            f"the baseline ran {base_backend!r}; regenerate the baseline "
+            "with the same --backend (comparisons are like-for-like only)"
+        )
     if new.get("diverged"):
         failures.append("new report is marked diverged")
     for run in new["runs"]:
-        if "batched_bit_identical" in run and not run["batched_bit_identical"]:
+        # None means a non-reference backend, which promises tolerance
+        # parity (checked via run['parity']) rather than bit-identity.
+        if run.get("batched_bit_identical") is False:
             failures.append(
                 f"scale {run['scale']}: batched positions are not "
                 "bit-identical to the per-shard reference"

@@ -106,6 +106,7 @@ def cmd_legalize(args: argparse.Namespace) -> int:
             max_workers=args.workers,
             fallback=args.fallback,
             batch_micro_shards=args.batch,
+            kernel_backend=args.kernel_backend,
         )
         if args.lam is not None:
             config.lam = args.lam
@@ -403,6 +404,15 @@ def build_parser() -> argparse.ArgumentParser:
                    default=False,
                    help="batch micro-shards through the stacked vectorized "
                         "MMSIM engine (bit-identical to the per-shard path)")
+    p.add_argument("--kernel-backend", default="reference",
+                   choices=["reference", "fused", "numba"],
+                   help="sweep-kernel backend for the MMSIM inner loops "
+                        "(mmsim only): 'reference' is the bit-identical "
+                        "default, 'fused' runs blocked pure-numpy sweeps, "
+                        "'numba' JIT-compiles them when numba is installed "
+                        "(silently reference otherwise); non-reference "
+                        "backends are probe-verified per splitting and "
+                        "fall back to reference on any mismatch")
     p.add_argument("--state", default=None, metavar="PATH",
                    help="solver-state file: if PATH exists, warm-start the "
                         "MMSIM from its KKT solution; afterwards the run's "

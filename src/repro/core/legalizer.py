@@ -121,8 +121,22 @@ class LegalizerConfig:
     #: Tunables (and the fault-injection hook) for ``fallback``; None
     #: uses the :class:`repro.core.resilience.ResilienceConfig` defaults.
     resilience: Optional[ResilienceConfig] = None
+    #: Sweep-kernel backend for the MMSIM inner loops (see
+    #: :mod:`repro.kernels`): ``"reference"`` (default, bit-identical
+    #: numpy/LAPACK path), ``"fused"`` (blocked pure-numpy sweeps), or
+    #: ``"numba"`` (optional JIT; silently reference when numba is
+    #: absent).  Non-reference backends are probe-verified per splitting
+    #: and degrade to reference on any mismatch.
+    kernel_backend: str = "reference"
 
     def __post_init__(self) -> None:
+        from repro.kernels import known_backend_names
+
+        if self.kernel_backend not in known_backend_names():
+            raise ValueError(
+                f"unknown kernel_backend {self.kernel_backend!r}; "
+                f"known: {known_backend_names()}"
+            )
         if self.record_history:
             warnings.warn(
                 "LegalizerConfig.record_history is deprecated: per-sweep "
@@ -440,13 +454,18 @@ class MMSIMLegalizer:
                     fast_kernels=cfg.fast_kernels,
                     lazy=batching,
                     reuse=reuse,
+                    kernel_backend=cfg.kernel_backend,
                 )
                 span.set_attributes(
                     components=prepared.sharded.num_components,
                     shards=prepared.sharded.num_shards,
                     fast_kernels=cfg.fast_kernels,
                     batched=batching,
+                    **{"kernel.backend": cfg.kernel_backend},
                 )
+                metrics.gauge(
+                    f"kernel.backend.{cfg.kernel_backend}"
+                ).set(1.0)
                 metrics.gauge("shard.components").set(
                     prepared.sharded.num_components
                 )
@@ -469,6 +488,10 @@ class MMSIMLegalizer:
                     legal_qp, reuse, tracer
                 )
                 span.set_attribute("fast_kernels", cfg.fast_kernels)
+                span.set_attribute("kernel.backend", cfg.kernel_backend)
+                metrics.gauge(
+                    f"kernel.backend.{cfg.kernel_backend}"
+                ).set(1.0)
 
         if cfg.validate_theorem2:
             with tracer.span("theorem2"):
@@ -505,7 +528,8 @@ class MMSIMLegalizer:
                     legal_qp.qp.B,
                     legal_qp.E,
                     scalar_key=scalar_setup_key(
-                        cfg.lam, params, cfg.fast_kernels
+                        cfg.lam, params, cfg.fast_kernels,
+                        cfg.kernel_backend,
                     ),
                     labels=None,
                 )
@@ -525,6 +549,7 @@ class MMSIMLegalizer:
             lam=cfg.lam,
             params=params,
             fast_kernels=cfg.fast_kernels,
+            kernel_backend=cfg.kernel_backend,
         )
         if reuse is not None:
             reuse.setups.record("miss" if entry is None else "stale")

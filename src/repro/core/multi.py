@@ -176,6 +176,7 @@ def _solve_group(
             min_shard_variables=1,
             fast_kernels=True,
             lazy=True,
+            kernel_backend=cfg.kernel_backend,
             reuse=(
                 getattr(preps[0], "_reuse", None)
                 if len(preps) == 1

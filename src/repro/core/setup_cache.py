@@ -437,9 +437,17 @@ class ReuseCache:
 
 
 def scalar_setup_key(
-    lam: float, params, fast_kernels: bool
+    lam: float, params, fast_kernels: bool, kernel_backend: str = "reference"
 ) -> tuple:
-    """The scalar inputs a splitting's setup depends on."""
+    """The scalar inputs a splitting's setup depends on.
+
+    ``kernel_backend`` joins the identity because a cached splitting
+    carries its armed sweep runner: a cache built under one backend must
+    never serve a run requesting another.
+    """
     beta = params.beta if params is not None else 0.5
     theta = params.theta if params is not None else 0.5
-    return (float(lam), float(beta), float(theta), bool(fast_kernels))
+    return (
+        float(lam), float(beta), float(theta), bool(fast_kernels),
+        str(kernel_backend),
+    )

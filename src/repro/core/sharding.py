@@ -76,6 +76,9 @@ class ShardSource:
     fast_kernels: bool
     #: Memoized setups for incremental (ECO) re-runs; None disables reuse.
     cache: Optional[SetupCache] = None
+    #: Sweep-kernel backend every materialized splitting arms (see
+    #: repro.kernels); part of the setup-cache identity.
+    kernel_backend: str = "reference"
 
     def slice_blocks(
         self, vi: np.ndarray, bi: np.ndarray, ei: np.ndarray
@@ -186,6 +189,7 @@ class Shard:
                 self._splitting = LegalizationSplitting(
                     Hs, Bs, Es, src.lam,
                     params=src.params, fast_kernels=src.fast_kernels,
+                    kernel_backend=src.kernel_backend,
                 )
                 if cache is not None:
                     cache.record(
@@ -297,6 +301,7 @@ def build_shards(
     lazy: bool = False,
     reuse: Optional[ReuseCache] = None,
     var_groups: Optional[np.ndarray] = None,
+    kernel_backend: str = "reference",
 ) -> ShardedKKT:
     """Partition the legalization KKT LCP into independent shards.
 
@@ -348,7 +353,9 @@ def build_shards(
         with active_tracer().span("setup_reuse") as span:
             trust = reuse.begin_run(
                 H, B, E,
-                scalar_key=scalar_setup_key(lam, params, fast_kernels),
+                scalar_key=scalar_setup_key(
+                    lam, params, fast_kernels, kernel_backend
+                ),
                 labels=labels,
                 num_components=num_comp,
             )
@@ -362,6 +369,7 @@ def build_shards(
         H=H, p=p, B=B, b=b, E=E,
         lam=lam, params=params, fast_kernels=fast_kernels,
         cache=reuse.setups if reuse is not None else None,
+        kernel_backend=kernel_backend,
     )
     sharded = ShardedKKT(
         n=n, m=m, num_components=num_comp, source=source, labels=labels
@@ -403,6 +411,7 @@ def shard_legalization_qp(
     lazy: bool = False,
     reuse: Optional[ReuseCache] = None,
     var_groups: Optional[np.ndarray] = None,
+    kernel_backend: str = "reference",
 ) -> ShardedKKT:
     """Shard a :class:`repro.core.qp_builder.LegalizationQP`.
 
@@ -426,6 +435,7 @@ def shard_legalization_qp(
         lazy=lazy,
         reuse=reuse,
         var_groups=var_groups,
+        kernel_backend=kernel_backend,
     )
 
 

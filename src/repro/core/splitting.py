@@ -55,33 +55,15 @@ import scipy.sparse.linalg as spla
 from scipy.linalg import lapack
 from scipy.sparse.csgraph import connected_components
 
+from repro.kernels import arm_backend, csr_matvec_into, probe_vector
 from repro.telemetry import current_tracer
 
 #: Relative probe-vector tolerance for accepting a specialized kernel.
 _KERNEL_VERIFY_TOL = 1e-9
 
-#: Deterministic probe vectors keyed by size (see ``_probe_vector``).
-_PROBE_CACHE: dict = {}
-
-try:  # pragma: no cover - exercised indirectly by every fast solve
-    from scipy.sparse import _sparsetools as _spt
-
-    def _csr_matvec_into(M: sp.csr_matrix, x: np.ndarray, y: np.ndarray):
-        """``y += M @ x`` without scipy's per-call dispatch overhead.
-
-        At legalization sizes the Python dispatch around ``M @ x`` costs
-        several times the C kernel itself; this calls the kernel directly
-        and accumulates into a caller-owned buffer (what the fused sweep
-        wants anyway).
-        """
-        _spt.csr_matvec(
-            M.shape[0], M.shape[1], M.indptr, M.indices, M.data, x, y
-        )
-
-except ImportError:  # pragma: no cover - scipy always ships _sparsetools
-
-    def _csr_matvec_into(M: sp.csr_matrix, x: np.ndarray, y: np.ndarray):
-        y += M @ x
+# The direct-sparsetools matvec now lives in the kernel-backend package
+# (repro.kernels.reference); keep the historical private name importable.
+_csr_matvec_into = csr_matvec_into
 
 
 def woodbury_h_inverse(E: sp.spmatrix, lam: float) -> sp.csr_matrix:
@@ -198,6 +180,13 @@ class LegalizationSplitting:
         :meth:`apply_rhs` sweep.  ``False`` restores the pre-optimization
         SuperLU path (kept for A/B benchmarking; results are identical to
         floating-point noise).
+    kernel_backend:
+        Sweep-kernel backend name from the :mod:`repro.kernels` registry.
+        Non-reference backends are probe-gated at setup and arm
+        ``self.sweep_runner`` (consumed by the blocked solver loops);
+        any rejection degrades to the reference loop with a telemetry
+        counter.  ``self.kernel_backend`` records the *effective* backend
+        after gating.
     """
 
     def __init__(
@@ -208,8 +197,10 @@ class LegalizationSplitting:
         lam: float,
         params: Optional[SplittingParameters] = None,
         fast_kernels: bool = True,
+        kernel_backend: str = "reference",
     ) -> None:
         self.params = params or SplittingParameters()
+        self._requested_backend = kernel_backend
         self.H = sp.csr_matrix(H)
         self.B = sp.csr_matrix(B)
         self.E = sp.csr_matrix(E)
@@ -228,7 +219,8 @@ class LegalizationSplitting:
 
         The solver fallback ladder (:mod:`repro.core.resilience`) uses
         this to retry a failed shard on the reference SuperLU path,
-        ruling the specialized Woodbury/LAPACK kernels out as the cause.
+        ruling the specialized Woodbury/LAPACK kernels out as the cause —
+        which is also why the rebuild never re-arms a sweep backend.
         """
         return LegalizationSplitting(
             self.H,
@@ -237,6 +229,7 @@ class LegalizationSplitting:
             self.lam,
             params=self.params,
             fast_kernels=fast_kernels,
+            kernel_backend="reference",
         )
 
     # ------------------------------------------------------------------
@@ -279,6 +272,17 @@ class LegalizationSplitting:
         self.apply_rhs: Optional[Callable] = (
             self._apply_rhs_fused if fast_kernels else None
         )
+        # Sweep-kernel backend (repro.kernels): probe-gated at setup;
+        # anything but a verified non-reference backend leaves
+        # sweep_runner None and the solver loops on the reference path.
+        # GeneralSplitting (which shares this setup) never requests one.
+        requested = getattr(self, "_requested_backend", "reference")
+        self.sweep_runner = None
+        self.kernel_backend = "reference"
+        if fast_kernels and requested not in (None, "reference"):
+            self.sweep_runner, self.kernel_backend = arm_backend(
+                self, requested
+            )
 
     def _build_top_solver(self, fast_kernels: bool) -> Callable:
         """Solver for ``H/β* + I``.
@@ -333,12 +337,15 @@ class LegalizationSplitting:
         """
         theta = self.params.theta
         bottom = (self.D / theta + sp.identity(self.m)).tocsr()
+        self._pttrf_factors = None
+        self._bottom_pivot = None
         if fast_kernels:
             d = bottom.diagonal()
             if self.m == 1:
                 pivot = float(d[0])
                 if pivot != 0.0:
                     self.bottom_kernel = "scalar"
+                    self._bottom_pivot = pivot
                     return lambda r, _p=pivot: r / _p
             else:
                 dl = bottom.diagonal(-1)
@@ -354,6 +361,9 @@ class LegalizationSplitting:
                             <= _KERNEL_VERIFY_TOL * scale
                         ):
                             self.bottom_kernel = "pttrs"
+                            # Raw factors for JIT backends that re-run the
+                            # pttrs recurrences themselves.
+                            self._pttrf_factors = (df, ef)
                             return (
                                 lambda r, _d=df, _e=ef:
                                 lapack.dpttrs(_d, _e, r)[0]
@@ -375,16 +385,10 @@ class LegalizationSplitting:
 
     @staticmethod
     def _probe_vector(size: int) -> np.ndarray:
-        # Cached per size: micro-sharded designs build thousands of tiny
-        # splittings and the RNG construction dominated their probe cost.
-        # The cached array is marked read-only; every LAPACK wrapper used
-        # on it copies (overwrite_b defaults off).
-        probe = _PROBE_CACHE.get(size)
-        if probe is None:
-            probe = np.random.default_rng(20170618).standard_normal(size)
-            probe.setflags(write=False)
-            _PROBE_CACHE[size] = probe
-        return probe
+        # The capped probe cache lives with the backend registry now
+        # (repro.kernels.reference.probe_vector) so block-solver probes
+        # and backend probe gates share one bounded store.
+        return probe_vector(size)
 
     # ------------------------------------------------------------------
     # Splitting protocol

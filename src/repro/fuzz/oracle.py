@@ -187,6 +187,17 @@ def oracle_configs(opts: OracleOptions) -> List[Tuple[str, LegalizerConfig, str]
             base(resilience=inject("mmsim", "mmsim_safe", "psor")),
             "tolerance",
         ),
+        # Blocked sweep-kernel backend (repro.kernels): identical
+        # per-sweep arithmetic, but convergence sampled at block
+        # boundaries, so runs stop at a later iterate of the same
+        # contraction — tolerance-equivalent, not bitwise ("reordered"
+        # tolerance class; see docs/PERFORMANCE.md §5).  Routed through
+        # the batched engine, its main production surface.
+        (
+            "fused_kernel",
+            base(kernel_backend="fused", batch_micro_shards=True),
+            "tolerance",
+        ),
         # Executed specially (see run_oracle_design): a warm-up run on a
         # fresh build populates a ReuseCache, then a second fresh build
         # reruns with the cache — the cached Woodbury/pttrf setups must
@@ -200,6 +211,16 @@ def oracle_configs(opts: OracleOptions) -> List[Tuple[str, LegalizerConfig, str]
         # cell's final position must match bit-for-bit.
         ("fence_slices", base(), "sliced"),
     ]
+    from repro.kernels import get_backend
+
+    if get_backend("numba").available():  # pragma: no cover - needs numba
+        # Same tolerance class as fused: blocked stopping points, JIT
+        # per-sweep arithmetic probe-verified against the reference.
+        matrix.append((
+            "numba_kernel",
+            base(kernel_backend="numba", batch_micro_shards=True),
+            "tolerance",
+        ))
     if opts.configs is not None:
         keep = set(opts.configs) | {"baseline"}
         matrix = [row for row in matrix if row[0] in keep]

@@ -1,0 +1,148 @@
+"""Reference sweep primitives: the numpy/LAPACK path, owned here.
+
+This module is the registry's home for the primitives that used to be
+inlined in :mod:`repro.core.splitting`:
+
+* :func:`csr_matvec_into` — the direct ``scipy.sparse._sparsetools``
+  matvec (``y += M @ x``) that every fast sweep builds on;
+* :func:`probe_vector` — the capped cache of deterministic probe vectors
+  used by kernel verification (both the per-block-solver probes inside
+  ``LegalizationSplitting`` and the registry's backend probe gate);
+* :func:`reference_sweeps` — the reference modulus sweep, expressed over
+  any :class:`repro.lcp.mmsim.Splitting`.  This is the arithmetic every
+  other backend is probe-verified against, and the fallback the blocked
+  solver loops use if a repack produces a splitting whose runner declined.
+
+The reference *backend* itself arms no runner: selecting it leaves the
+existing per-sweep solver loops in charge, which is what keeps it
+bit-identical to the pre-registry behavior (and the default).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.kernels.base import KernelBackend
+
+try:  # pragma: no cover - exercised indirectly by every fast solve
+    from scipy.sparse import _sparsetools as _spt
+
+    def csr_matvec_into(M: sp.csr_matrix, x: np.ndarray, y: np.ndarray):
+        """``y += M @ x`` without scipy's per-call dispatch overhead.
+
+        At legalization sizes the Python dispatch around ``M @ x`` costs
+        several times the C kernel itself; this calls the kernel directly
+        and accumulates into a caller-owned buffer (what the fused sweep
+        wants anyway).
+        """
+        _spt.csr_matvec(
+            M.shape[0], M.shape[1], M.indptr, M.indices, M.data, x, y
+        )
+
+except ImportError:  # pragma: no cover - scipy always ships _sparsetools
+
+    def csr_matvec_into(M: sp.csr_matrix, x: np.ndarray, y: np.ndarray):
+        y += M @ x
+
+
+# ----------------------------------------------------------------------
+# Probe vectors
+# ----------------------------------------------------------------------
+#: Cap on cached probe vectors.  The cache used to be an unbounded dict in
+#: core.splitting: a long-lived service legalizing designs of ever-new
+#: sizes grew one entry per distinct (sub)system size, forever.  Probe
+#: sizes cluster heavily (micro-shards bucket by structure), so a small
+#: LRU keeps the hit rate while bounding residency.
+PROBE_CACHE_CAP = 256
+
+_PROBE_SEED = 20170618
+_PROBE_CACHE: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+_PROBE_LOCK = threading.Lock()
+
+
+def probe_vector(size: int, salt: int = 0) -> np.ndarray:
+    """Deterministic standard-normal probe of ``size`` entries.
+
+    Cached per ``(size, salt)`` (micro-sharded designs build thousands of
+    tiny splittings and the RNG construction dominated their probe cost),
+    LRU-capped at :data:`PROBE_CACHE_CAP`.  The cached array is marked
+    read-only; every LAPACK wrapper used on it copies (``overwrite_b``
+    defaults off).  ``salt`` selects an independent vector of the same
+    size (the backend probe gate needs two: an iterate and a q).
+    """
+    key = (int(size), int(salt))
+    with _PROBE_LOCK:
+        probe = _PROBE_CACHE.get(key)
+        if probe is not None:
+            _PROBE_CACHE.move_to_end(key)
+            return probe
+    probe = np.random.default_rng(_PROBE_SEED + salt).standard_normal(size)
+    probe.setflags(write=False)
+    with _PROBE_LOCK:
+        _PROBE_CACHE[key] = probe
+        _PROBE_CACHE.move_to_end(key)
+        while len(_PROBE_CACHE) > PROBE_CACHE_CAP:
+            _PROBE_CACHE.popitem(last=False)
+    return probe
+
+
+def probe_cache_size() -> int:
+    """Current number of cached probe vectors (for tests/diagnostics)."""
+    with _PROBE_LOCK:
+        return len(_PROBE_CACHE)
+
+
+# ----------------------------------------------------------------------
+# The reference sweep
+# ----------------------------------------------------------------------
+def reference_sweeps(
+    splitting, s: np.ndarray, count: int, gq: np.ndarray, omega=None
+) -> np.ndarray:
+    """``count`` modulus sweeps with the reference per-sweep arithmetic.
+
+    Exactly the operations the solver loops perform — fused rhs when the
+    splitting provides one, ``solve_M_plus_omega``, then the damping form
+    matching *omega*'s shape (see :mod:`repro.kernels.base`).  Used as
+    the probe-gate oracle for every other backend and as the blocked
+    loops' fallback runner.
+    """
+    for _ in range(count):
+        s_abs = np.abs(s)
+        fused = getattr(splitting, "apply_rhs", None)
+        if fused is not None:
+            rhs = fused(s, s_abs, gq)
+        else:
+            rhs = (
+                splitting.apply_N(s)
+                + splitting.apply_omega_minus_A(s_abs)
+                - gq
+            )
+        s_hat = splitting.solve_M_plus_omega(rhs)
+        if omega is None:
+            s = s_hat
+        elif np.ndim(omega) == 0:
+            s = s_hat if omega == 1.0 else omega * s_hat + (1.0 - omega) * s
+        else:
+            s = np.where(omega == 1.0, s_hat, omega * s_hat + (1.0 - omega) * s)
+    return s
+
+
+class ReferenceBackend(KernelBackend):
+    """The default backend: arm nothing, keep the existing loops.
+
+    ``build_runner`` returning None is load-bearing — with no runner on
+    the splitting, :func:`repro.lcp.mmsim.mmsim_solve` and the batched
+    engine run their original per-sweep loops, so the reference backend
+    is bit-identical to the pre-registry solver by construction.
+    """
+
+    name = "reference"
+    tolerance_class = "bitwise"
+
+    def build_runner(self, splitting) -> Optional[None]:
+        return None

@@ -1,0 +1,134 @@
+"""Backend registry and the probe-gated arming flow.
+
+The registry maps backend names to :class:`~repro.kernels.base.KernelBackend`
+instances.  The three built-ins (``reference``, ``fused``, ``numba``) are
+registered at import; callers (tests, plugins) may :func:`register_backend`
+additional ones — a registered name is immediately selectable through
+``LegalizerConfig(kernel_backend=...)``, the CLI and the service protocol.
+
+Selection is *probe-gated*: :func:`arm_backend` is called once per
+splitting setup and returns ``(runner, backend_name)``.  Any way a
+non-reference backend can fail — module not installed, structure not
+supported, probe-vector mismatch against the reference sweep — degrades to
+``(None, "reference")`` with a telemetry counter, never an exception:
+
+* ``kernel.backend_unavailable`` — the backend cannot run in this
+  environment (numba missing);
+* ``kernel.backend_rejected`` — the backend declined the splitting or its
+  probe sweep disagreed with the reference arithmetic beyond
+  ``KERNEL_VERIFY_TOL``.
+
+The probe gate is the same verification idea the specialized block solvers
+in :mod:`repro.core.splitting` already use, lifted to whole-sweep
+granularity: one sweep from a deterministic probe iterate (with a second
+probe standing in for γq) must match :func:`repro.kernels.reference.reference_sweeps`
+to ``KERNEL_VERIFY_TOL`` relative.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.kernels.base import KernelBackend, SweepRunner
+from repro.kernels.fused import FusedBackend
+from repro.kernels.numba_backend import NumbaBackend
+from repro.kernels.reference import (
+    ReferenceBackend,
+    probe_vector,
+    reference_sweeps,
+)
+from repro.telemetry import current_session
+
+#: Relative probe tolerance for accepting a backend's sweep (matches the
+#: block-solver verification tolerance in core.splitting).
+KERNEL_VERIFY_TOL = 1e-9
+
+_REGISTRY: Dict[str, KernelBackend] = {}
+
+
+def register_backend(backend: KernelBackend, replace: bool = False) -> None:
+    """Register *backend* under ``backend.name``.
+
+    ``replace=False`` (default) refuses to shadow an existing name so a
+    plugin cannot silently hijack ``reference``.
+    """
+    name = backend.name
+    if not name or not isinstance(name, str):
+        raise ValueError("backend must have a non-empty string name")
+    if not replace and name in _REGISTRY:
+        raise ValueError(f"kernel backend {name!r} is already registered")
+    _REGISTRY[name] = backend
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a registered backend (tests); built-ins may be re-added."""
+    _REGISTRY.pop(name, None)
+
+
+def get_backend(name: str) -> KernelBackend:
+    """The registered backend, or ``ValueError`` listing the known names."""
+    backend = _REGISTRY.get(name)
+    if backend is None:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; known: {known_backend_names()}"
+        )
+    return backend
+
+
+def known_backend_names() -> List[str]:
+    """All registered backend names (selectable, though possibly
+    unavailable in this environment), sorted."""
+    return sorted(_REGISTRY)
+
+
+def available_backends() -> List[str]:
+    """Registered backends that can actually run here, sorted."""
+    return sorted(n for n, b in _REGISTRY.items() if b.available())
+
+
+def probe_verify(splitting, runner: SweepRunner) -> bool:
+    """One probe sweep through *runner* vs the reference arithmetic."""
+    size = splitting.n + splitting.m
+    s_p = probe_vector(size)
+    gq_p = probe_vector(size, salt=1)
+    want = reference_sweeps(splitting, s_p, 1, gq_p)
+    got = runner.run(s_p, 1, gq_p)
+    scale = max(1.0, float(np.max(np.abs(want))) if size else 1.0)
+    err = float(np.max(np.abs(got - want))) if size else 0.0
+    return err <= KERNEL_VERIFY_TOL * scale
+
+
+def arm_backend(splitting, name: str) -> Tuple[Optional[SweepRunner], str]:
+    """Resolve and probe-gate backend *name* for one splitting.
+
+    Returns ``(runner, effective_name)``; every failure mode degrades to
+    ``(None, "reference")`` with the appropriate counter (see module
+    docstring).  Unknown names raise ``ValueError`` — config validation
+    happens before any solve, so this is a caller bug, not a runtime
+    degradation.
+    """
+    backend = get_backend(name)
+    if backend.name == "reference":
+        return None, "reference"
+    metrics = current_session().metrics
+    if not backend.available():
+        metrics.counter("kernel.backend_unavailable").inc()
+        return None, "reference"
+    try:
+        runner = backend.build_runner(splitting)
+        ok = runner is not None and probe_verify(splitting, runner)
+    except Exception:
+        runner = None
+        ok = False
+    if not ok:
+        metrics.counter("kernel.backend_rejected").inc()
+        return None, "reference"
+    return runner, backend.name
+
+
+# Built-ins.
+register_backend(ReferenceBackend())
+register_backend(FusedBackend())
+register_backend(NumbaBackend())

@@ -16,9 +16,10 @@ hide from the checker.
 
 from __future__ import annotations
 
-import math
 import sys
-from typing import Dict, List, Tuple
+from typing import List, Tuple
+
+import numpy as np
 
 from repro.geometry import is_on_grid
 from repro.legality.violations import LegalityReport, Violation, ViolationKind
@@ -196,29 +197,85 @@ def _check_fences(design: Design, report: LegalityReport) -> None:
 
 
 def _check_overlaps(design: Design, report: LegalityReport) -> None:
-    """Row-bucketed interval sweep: O(n log n) per row."""
-    core = design.core
-    tol_rows = row_tolerance(core) / core.row_height
-    buckets: Dict[int, List[Tuple[float, float, int]]] = {}
-    for cell in design.cells:
-        # Every row the cell's body intersects, computed geometrically so the
-        # sweep works even for off-row (mid-legalization) placements.
-        y_lo = cell.y
-        y_hi = cell.y + cell.height(core.row_height)
-        # floor, not int(): int() truncates toward zero, so a cell entirely
-        # below core.yl would collapse to row_hi = 0 and collide with every
-        # legitimate row-0 occupant.  With floor the range is empty instead.
-        row_lo = max(0, math.floor((y_lo - core.yl) / core.row_height + tol_rows))
-        row_hi = min(
-            core.num_rows - 1,
-            math.floor((y_hi - core.yl) / core.row_height - tol_rows),
-        )
-        for row in range(row_lo, row_hi + 1):
-            buckets.setdefault(row, []).append((cell.x, cell.x + cell.width, cell.id))
+    """Row-bucketed interval sweep, vectorized over all (cell, row) pairs.
 
-    seen_pairs = set()
+    The detection pass is pure numpy: expand every cell to the rows its
+    body intersects (computed geometrically so the sweep works even for
+    off-row mid-legalization placements), lexsort the spans by
+    ``(row, xl, xh, id)``, and flag rows whose *adjacent* sorted spans
+    overlap by more than the tolerance.  Adjacency suffices for
+    detection: if every span in a row is wider than ``tol``, any
+    overlapping pair implies an overlapping adjacent pair — take an
+    overlapping pair ``(i, j)`` with minimal ``j − i``; any span strictly
+    between them starts at or before ``xl[j] < xh[i] − tol``, so it
+    either overlaps ``i`` by more than ``tol`` (its own width if it ends
+    first, ``xh[i] − xl`` otherwise), contradicting minimality unless
+    ``j = i + 1``.  Rows with a degenerate span (width ≤ tol, where the
+    argument fails) are flagged conservatively.
+
+    Flagged rows — only rows that actually contain a violation or a
+    degenerate span, never the common all-legal case — are re-scanned by
+    the original exact Python passes (adjacent zip scan plus the
+    active-list sweep for wide-cell containment), in the original
+    first-encounter row order with a shared ``seen_pairs`` set, so the
+    report (order, messages, dedup) is bit-identical to the per-row
+    reference scan.
+    """
+    core = design.core
+    cells = design.cells
+    ncells = len(cells)
+    if ncells < 2:
+        return
+    rh = core.row_height
+    tol_rows = row_tolerance(core) / rh
     tol = site_tolerance(core)
-    for row, spans in buckets.items():
+    x = np.empty(ncells)
+    w = np.empty(ncells)
+    y = np.empty(ncells)
+    h = np.empty(ncells)
+    for i, cell in enumerate(cells):
+        x[i] = cell.x
+        w[i] = cell.width
+        y[i] = cell.y
+        h[i] = cell.height(rh)
+    # floor, not int(): int() truncates toward zero, so a cell entirely
+    # below core.yl would collapse to row_hi = 0 and collide with every
+    # legitimate row-0 occupant.  With floor the range is empty instead.
+    row_lo = np.floor((y - core.yl) / rh + tol_rows).astype(np.intp)
+    np.maximum(row_lo, 0, out=row_lo)
+    row_hi = np.floor((y + h - core.yl) / rh - tol_rows).astype(np.intp)
+    np.minimum(row_hi, core.num_rows - 1, out=row_hi)
+    counts = np.maximum(row_hi - row_lo + 1, 0)
+    total = int(counts.sum())
+    if total < 2:
+        return
+    # (cell, row) expansion in the reference scan's bucket-fill order:
+    # cells in id order, each cell's rows ascending.
+    ids = np.repeat(np.arange(ncells), counts)
+    offs = np.concatenate([[0], np.cumsum(counts)])[:-1]
+    rows = np.repeat(row_lo, counts) + (np.arange(total) - np.repeat(offs, counts))
+    xl = x[ids]
+    xh = xl + w[ids]
+    order = np.lexsort((ids, xh, xl, rows))
+    srows = rows[order]
+    same = srows[1:] == srows[:-1]
+    sxh = xh[order]
+    adj_overlap = np.minimum(sxh[:-1], sxh[1:]) - xl[order][1:]
+    adj_hit = same & (adj_overlap > tol)
+    flagged = set(np.unique(srows[:-1][adj_hit]).tolist())
+    thin = w[ids] <= tol
+    if thin.any():
+        flagged.update(np.unique(rows[thin]).tolist())
+    if not flagged:
+        return
+    uniq_rows, first_idx = np.unique(rows, return_index=True)
+    encounter = dict(zip(uniq_rows.tolist(), first_idx.tolist()))
+    seen_pairs: set = set()
+    for row in sorted(flagged, key=encounter.__getitem__):
+        mask = rows == row
+        spans = list(
+            zip(xl[mask].tolist(), xh[mask].tolist(), ids[mask].tolist())
+        )
         spans.sort()
         for (xl0, xh0, id0), (xl1, xh1, id1) in zip(spans, spans[1:]):
             overlap = min(xh0, xh1) - max(xl0, xl1)
@@ -246,8 +303,7 @@ def _check_overlaps(design: Design, report: LegalityReport) -> None:
                     )
                 )
         # The adjacent-pair scan above misses overlaps where a wide cell
-        # spans several narrower ones; do a full containment pass when any
-        # adjacent overlap was found or spans are few.
+        # spans several narrower ones; the active-list sweep catches those.
         _sweep_non_adjacent(spans, seen_pairs, design, report, row, tol)
 
 

@@ -88,6 +88,15 @@ class LegalizeRequest:
             raise ProtocolError(
                 f"unknown config fields: {sorted(unknown)}"
             )
+        backend = config.get("kernel_backend")
+        if backend is not None:
+            from repro.kernels import known_backend_names
+
+            if backend not in known_backend_names():
+                raise ProtocolError(
+                    f"unknown kernel_backend {backend!r}; "
+                    f"known: {known_backend_names()}"
+                )
         deadline = data.get("deadline_seconds")
         if deadline is not None:
             deadline = float(deadline)

@@ -157,6 +157,8 @@ class LegalizationServer:
             "setup.cache_hit",
             "setup.cache_miss",
             "setup.cache_stale",
+            "kernel.backend_rejected",
+            "kernel.backend_unavailable",
             "resilience.escalated_shards",
             "batch.shards",
         ):
