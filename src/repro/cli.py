@@ -17,6 +17,18 @@ Subcommands
 ``serve``    run the legalization service (async HTTP front end, keyed
              warm-state store, cross-request batched solves)
 ``submit``   send a design file to a running ``repro serve`` process
+``sweep``    expand a JSON/YAML axes file through the scenario spec's
+             valid-config lattice and run a telemetry-backed campaign
+             (JSONL report; ``--dry-run`` plans without solving)
+``spec``     inspect the declarative configuration specs:
+             ``spec check`` runs the self-checks (spec <-> dataclass
+             drift, constraint consistency, fuzz-oracle matrix),
+             ``spec knobs`` prints a spec's knob/constraint tables
+
+Invalid configurations (``--parallel`` without sharding, ``--workers
+0``, ``serve --queue-limit 0``, ...) exit with status 2 and the same
+violation message the Python constructor and the service's HTTP 400
+report (see docs/CONFIGURATION.md).
 
 Design files are Bookshelf ``.aux`` suites or this package's ``.json``
 format (chosen by extension).
@@ -68,15 +80,29 @@ def _save(design: Design, path: str) -> None:
         raise SystemExit(f"unsupported output file {path!r} (use .aux or .json)")
 
 
+def _config_error(message: str) -> int:
+    """Report a configuration violation the way argparse reports usage
+    errors: message on stderr, exit status 2."""
+    print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
 def cmd_gen(args: argparse.Namespace) -> int:
-    design = make_benchmark(
-        args.benchmark,
+    from repro.scenario import BENCHGEN_SPEC, format_violations
+
+    gen_args = dict(
         scale=args.scale,
         seed=args.seed,
         mixed=not args.single_height,
         fences=args.fences,
         macro_fraction=args.macro_frac,
     )
+    violations = BENCHGEN_SPEC.validate(gen_args)
+    if violations:
+        return _config_error(
+            f"invalid generator options: {format_violations(violations)}"
+        )
+    design = make_benchmark(args.benchmark, with_nets=True, **gen_args)
     _save(design, args.output)
     extras = ""
     if design.fences:
@@ -94,13 +120,16 @@ def cmd_gen(args: argparse.Namespace) -> int:
 def cmd_legalize(args: argparse.Namespace) -> int:
     from repro import telemetry
 
-    design = _load(args.input)
     factory = ALGORITHMS.get(args.algorithm)
     if factory is None:
         raise SystemExit(f"unknown algorithm {args.algorithm!r}")
     legalizer = factory()
     if args.algorithm == "mmsim":
-        config = LegalizerConfig(
+        # Validate the flag combination (spec-backed, inside the
+        # constructor) before touching the input file, so `--parallel`
+        # without sharding or `--workers 0` exits 2 with the violation
+        # message instead of no-opping or failing deep in the flow.
+        overrides = dict(
             shard=not args.no_shard,
             parallel=args.parallel,
             max_workers=args.workers,
@@ -109,8 +138,13 @@ def cmd_legalize(args: argparse.Namespace) -> int:
             kernel_backend=args.kernel_backend,
         )
         if args.lam is not None:
-            config.lam = args.lam
+            overrides["lam"] = args.lam
+        try:
+            config = LegalizerConfig(**overrides)
+        except ValueError as exc:
+            return _config_error(str(exc))
         legalizer = MMSIMLegalizer(config)
+    design = _load(args.input)
 
     warm_start_z = None
     state_path = getattr(args, "state", None)
@@ -250,19 +284,22 @@ def cmd_trace(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import ServiceConfig, run_server
 
-    config = ServiceConfig(
-        host=args.host,
-        port=args.port,
-        queue_limit=args.queue_limit,
-        batch_window_seconds=args.batch_window,
-        max_batch=args.max_batch,
-        workers=args.workers,
-        default_deadline_seconds=args.deadline,
-        merge=not args.no_merge,
-        store_max_entries=args.store_entries,
-        store_max_bytes=args.store_bytes,
-        store_ttl_seconds=args.store_ttl,
-    )
+    try:
+        config = ServiceConfig(
+            host=args.host,
+            port=args.port,
+            queue_limit=args.queue_limit,
+            batch_window_seconds=args.batch_window,
+            max_batch=args.max_batch,
+            workers=args.workers,
+            default_deadline_seconds=args.deadline,
+            merge=not args.no_merge,
+            store_max_entries=args.store_entries,
+            store_max_bytes=args.store_bytes,
+            store_ttl_seconds=args.store_ttl,
+        )
+    except ValueError as exc:
+        return _config_error(str(exc))
 
     def announce(server) -> None:
         print(
@@ -309,6 +346,88 @@ def cmd_submit(args: argparse.Namespace) -> int:
         _save(design, args.output)
         print(f"wrote {args.output}")
     return 0 if response.ok and response.audit_clean else 1
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.scenario.sweep import SweepOptions, load_axes, run_sweep
+
+    try:
+        axes = load_axes(args.axes)
+    except (OSError, ValueError) as exc:
+        return _config_error(f"cannot load axes file: {exc}")
+    opts = SweepOptions(
+        benchmark=args.benchmark,
+        scale=args.scale,
+        seed=args.seed,
+        out=args.out,
+        dry_run=args.dry_run,
+        limit=args.limit,
+    )
+    try:
+        summary = run_sweep(
+            axes, opts, progress=None if args.quiet else sys.stderr
+        )
+    except ValueError as exc:
+        # Unknown axis names / ill-typed axis values: a config error,
+        # same exit convention as the other subcommands.
+        return _config_error(str(exc))
+    print(summary.summary())
+    if summary.valid_points == 0:
+        print(
+            "error: no valid points in the lattice (every combination "
+            "violates the spec)",
+            file=sys.stderr,
+        )
+        return 2
+    return 1 if summary.failed else 0
+
+
+def cmd_spec(args: argparse.Namespace) -> int:
+    from repro.core.legalizer import LegalizerConfig as _LegalizerConfig
+    from repro.scenario import (
+        BENCHGEN_SPEC,
+        LEGALIZER_SPEC,
+        SERVICE_SPEC,
+        SWEEP_SPEC,
+    )
+    from repro.scenario.matrix import matrix_self_check, oracle_matrix
+    from repro.service.server import ServiceConfig
+
+    specs = {
+        "legalizer": LEGALIZER_SPEC,
+        "service": SERVICE_SPEC,
+        "benchgen": BENCHGEN_SPEC,
+        "sweep": SWEEP_SPEC,
+    }
+    if args.spec_command == "check":
+        problems = []
+        problems += LEGALIZER_SPEC.self_check(_LegalizerConfig)
+        problems += SERVICE_SPEC.self_check(ServiceConfig)
+        problems += BENCHGEN_SPEC.self_check()
+        problems += SWEEP_SPEC.self_check()
+        problems += matrix_self_check()
+        if problems:
+            for problem in problems:
+                print(f"FAIL: {problem}", file=sys.stderr)
+            return 1
+        matrix = oracle_matrix()
+        print(
+            f"spec check: ok ({len(LEGALIZER_SPEC.variables)} legalizer + "
+            f"{len(SERVICE_SPEC.variables)} service + "
+            f"{len(BENCHGEN_SPEC.variables)} benchgen knobs, "
+            f"{len(LEGALIZER_SPEC.constraints)} constraints, "
+            f"{len(matrix)}-point oracle matrix)"
+        )
+        return 0
+    if args.spec_command == "knobs":
+        spec = specs[args.spec]
+        print(f"## {spec.name} knobs\n")
+        print(spec.knob_table())
+        if spec.constraints:
+            print("\n## constraints\n")
+            print(spec.constraint_table())
+        return 0
+    raise SystemExit(f"unknown spec command {args.spec_command!r}")
 
 
 def cmd_check(args: argparse.Namespace) -> int:
@@ -521,6 +640,55 @@ def build_parser() -> argparse.ArgumentParser:
                    help="apply the returned positions and save the "
                         "design here (.aux or .json)")
     p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run a config-lattice campaign from a JSON/YAML axes file",
+    )
+    p.add_argument("axes",
+                   help="axes file: a mapping of knob name -> value list "
+                        "(legalizer knobs plus gen.* benchmark knobs); "
+                        "invalid combinations are pruned via the scenario "
+                        "spec, not run")
+    p.add_argument("--benchmark", default="fft_2",
+                   help="paper benchmark profile each point builds "
+                        "(default fft_2)")
+    p.add_argument("--scale", type=float, default=0.02,
+                   help="default build scale (a gen.scale axis overrides "
+                        "it per point; default 0.02)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="default build seed (a gen.seed axis overrides it)")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the JSONL campaign report here (one "
+                        "'campaign' header record + one 'point' record "
+                        "per executed point with result metrics and "
+                        "telemetry counters)")
+    p.add_argument("--dry-run", action="store_true",
+                   help="enumerate and report the valid lattice without "
+                        "solving anything")
+    p.add_argument("--limit", type=int, default=None, metavar="N",
+                   help="run at most N valid points")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-point progress lines on stderr")
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "spec",
+        help="inspect the declarative configuration specs",
+    )
+    ssub = p.add_subparsers(dest="spec_command", required=True)
+    pc = ssub.add_parser(
+        "check",
+        help="self-check the specs: dataclass drift, constraint "
+             "consistency, and fuzz-oracle matrix coverage",
+    )
+    pc.set_defaults(func=cmd_spec)
+    pk = ssub.add_parser(
+        "knobs", help="print a spec's knob and constraint tables"
+    )
+    pk.add_argument("--spec", default="legalizer",
+                    choices=["legalizer", "service", "benchgen", "sweep"])
+    pk.set_defaults(func=cmd_spec)
 
     p = sub.add_parser("check", help="check legality of a design file")
     p.add_argument("input")

@@ -91,7 +91,9 @@ class LegalizerConfig:
     #: stops as soon as it converges, so sharding wins even serially.
     shard: bool = True
     #: Solve shards concurrently on a thread pool (the NumPy/SciPy kernels
-    #: release the GIL).  Only meaningful with ``shard=True``.
+    #: release the GIL).  Requires ``shard=True``: a monolithic solve has
+    #: no shards to run concurrently, so ``parallel=True, shard=False``
+    #: raises ``ValueError`` instead of silently running serially.
     parallel: bool = False
     #: Thread-pool size for ``parallel``; None lets the executor pick.
     max_workers: Optional[int] = None
@@ -104,6 +106,9 @@ class LegalizerConfig:
     #: signature, and sweep each group as one stacked vectorized MMSIM
     #: with per-shard convergence masking.  Bit-identical to the
     #: per-shard path; shards the engine declines fall back to it.
+    #: Requires ``shard=True`` (there are no micro-shards to batch
+    #: otherwise): ``batch_micro_shards=True, shard=False`` raises
+    #: ``ValueError`` instead of silently running the monolithic path.
     batch_micro_shards: bool = False
     #: log₂ size-bucket cap of the batching signature (see
     #: :class:`repro.core.batched.BatchOptions`).
@@ -130,12 +135,18 @@ class LegalizerConfig:
     kernel_backend: str = "reference"
 
     def __post_init__(self) -> None:
-        from repro.kernels import known_backend_names
+        # Every knob and cross-field rule is declared once, in
+        # repro.scenario.specs.LEGALIZER_SPEC; the service protocol and
+        # the CLI surface the same violations (HTTP 400 / exit 2).
+        # Imported lazily: the scenario package imports repro.core
+        # modules at load time, so the dependency must stay one-way.
+        from repro.scenario.spec import format_violations
+        from repro.scenario.specs import LEGALIZER_SPEC
 
-        if self.kernel_backend not in known_backend_names():
+        violations = LEGALIZER_SPEC.validate(self)
+        if violations:
             raise ValueError(
-                f"unknown kernel_backend {self.kernel_backend!r}; "
-                f"known: {known_backend_names()}"
+                f"invalid LegalizerConfig: {format_violations(violations)}"
             )
         if self.record_history:
             warnings.warn(

@@ -129,98 +129,55 @@ class RunRecord:
         return y
 
 
+def _base_config(opts: OracleOptions, overrides: dict) -> LegalizerConfig:
+    """One matrix point's config: oracle base + the point's overrides.
+
+    The base pins min_shard_variables=1 — single-component granularity,
+    the granularity whose bit-identity the batched and parallel engines
+    promise (the production default, merged micro-shards, is a separate
+    tolerance-group point: merging changes sweep stopping points, so it
+    is tolerance-equivalent, not bitwise) — and a 1x safe-kernel
+    iteration cap, so a hard shard fails over to the fast exact
+    PSOR/Lemke rungs instead of grinding, which bounds the campaign's
+    worst-case wall clock.
+    """
+    kw = dict(overrides)
+    kw.setdefault("min_shard_variables", 1)
+    kw.setdefault("resilience", ResilienceConfig(safe_iteration_factor=1.0))
+    return LegalizerConfig(
+        lam=opts.lam,
+        tol=opts.tol,
+        residual_tol=opts.residual_tol,
+        max_iterations=opts.max_iterations,
+        **kw,
+    )
+
+
 def oracle_configs(opts: OracleOptions) -> List[Tuple[str, LegalizerConfig, str]]:
     """The configuration matrix: (name, config, comparison group).
 
     Groups: ``identity`` must match the baseline bit-for-bit;
     ``identity_healthy`` only when the baseline had no escalations;
-    ``tolerance`` must agree within solver tolerance.
+    ``tolerance`` must agree within solver tolerance; ``sliced`` is the
+    fence-slice refinement.  The ``reuse`` and ``fence_slices`` points
+    are executed specially by :func:`run_oracle_design` (cache-warmed
+    rerun / per-fence-group pre-sliced designs).
+
+    The matrix itself is *generated* from the declarative legalizer
+    spec — :func:`repro.scenario.matrix.oracle_matrix` expands the
+    batched/parallel identity square, the one-factor tolerance axes,
+    and the injection-ladder rungs through
+    ``ScenarioSpec.enumerate_valid`` — so an invalid combination can
+    never enter the campaign, and a new ``LegalizerConfig`` knob
+    without oracle coverage (or an explicit exemption) fails
+    ``repro spec check``.
     """
-
-    def base(**kw) -> LegalizerConfig:
-        # min_shard_variables=1 shards at single-component granularity —
-        # the granularity whose bit-identity the batched and parallel
-        # engines promise.  The production default (merged micro-shards)
-        # is covered separately in the tolerance group: merging changes
-        # sweep stopping points, so it is tolerance-equivalent, not
-        # bitwise.
-        kw.setdefault("min_shard_variables", 1)
-        # The safe-kernel retry uses the deliberately slow reference
-        # sweep; at 1x the (already modest) iteration cap a hard shard
-        # fails over to the fast exact PSOR/Lemke rungs instead of
-        # grinding, which bounds the campaign's worst-case wall clock.
-        kw.setdefault("resilience", ResilienceConfig(safe_iteration_factor=1.0))
-        return LegalizerConfig(
-            lam=opts.lam,
-            tol=opts.tol,
-            residual_tol=opts.residual_tol,
-            max_iterations=opts.max_iterations,
-            **kw,
-        )
-
-    def inject(*rungs: str) -> ResilienceConfig:
-        return ResilienceConfig(
-            inject={"*": tuple(rungs)}, safe_iteration_factor=1.0
-        )
+    from repro.scenario.matrix import oracle_matrix
 
     matrix = [
-        ("baseline", base(), "baseline"),
-        ("merged_shards", base(min_shard_variables=256), "tolerance"),
-        ("batch", base(batch_micro_shards=True), "identity"),
-        ("parallel", base(parallel=True, max_workers=4), "identity"),
-        (
-            "batch_parallel",
-            base(batch_micro_shards=True, parallel=True, max_workers=4),
-            "identity",
-        ),
-        ("no_fallback", base(fallback=False), "identity_healthy"),
-        ("monolithic", base(shard=False), "tolerance"),
-        ("slow_kernels", base(fast_kernels=False), "tolerance"),
-        ("inject_safe", base(resilience=inject("mmsim")), "tolerance"),
-        (
-            "inject_psor",
-            base(resilience=inject("mmsim", "mmsim_safe")),
-            "tolerance",
-        ),
-        (
-            "inject_lemke",
-            base(resilience=inject("mmsim", "mmsim_safe", "psor")),
-            "tolerance",
-        ),
-        # Blocked sweep-kernel backend (repro.kernels): identical
-        # per-sweep arithmetic, but convergence sampled at block
-        # boundaries, so runs stop at a later iterate of the same
-        # contraction — tolerance-equivalent, not bitwise ("reordered"
-        # tolerance class; see docs/PERFORMANCE.md §5).  Routed through
-        # the batched engine, its main production surface.
-        (
-            "fused_kernel",
-            base(kernel_backend="fused", batch_micro_shards=True),
-            "tolerance",
-        ),
-        # Executed specially (see run_oracle_design): a warm-up run on a
-        # fresh build populates a ReuseCache, then a second fresh build
-        # reruns with the cache — the cached Woodbury/pttrf setups must
-        # reproduce the cold baseline bit-for-bit.
-        ("reuse", base(), "identity"),
-        # Executed specially (see _check_fence_slices): on fenced designs
-        # the fence-on baseline is compared against one run per fence
-        # group on a manually pre-sliced design (the group's movable
-        # cells + every fixed cell + the relevant fence specs).  Group
-        # partitioning makes the constraint systems identical, so every
-        # cell's final position must match bit-for-bit.
-        ("fence_slices", base(), "sliced"),
+        (point.name, _base_config(opts, dict(point.overrides)), point.group)
+        for point in oracle_matrix()
     ]
-    from repro.kernels import get_backend
-
-    if get_backend("numba").available():  # pragma: no cover - needs numba
-        # Same tolerance class as fused: blocked stopping points, JIT
-        # per-sweep arithmetic probe-verified against the reference.
-        matrix.append((
-            "numba_kernel",
-            base(kernel_backend="numba", batch_micro_shards=True),
-            "tolerance",
-        ))
     if opts.configs is not None:
         keep = set(opts.configs) | {"baseline"}
         matrix = [row for row in matrix if row[0] in keep]

@@ -1,0 +1,306 @@
+"""The repo's concrete scenario specs.
+
+One :class:`~repro.scenario.spec.ScenarioSpec` per configuration
+surface:
+
+* :data:`LEGALIZER_SPEC` shadows :class:`repro.core.legalizer.
+  LegalizerConfig` knob-for-knob (CI's spec self-check fails when they
+  drift),
+* :data:`SERVICE_SPEC` shadows :class:`repro.service.server.
+  ServiceConfig`,
+* :data:`BENCHGEN_SPEC` covers the :func:`repro.benchgen.make_benchmark`
+  generator knobs,
+* :data:`SWEEP_SPEC` is the campaign lattice ``repro sweep`` expands:
+  every legalizer knob plus the benchgen knobs under a ``gen.`` prefix.
+
+This module must not import :mod:`repro.core.legalizer` at module level:
+``LegalizerConfig.__post_init__`` imports *us* for validation, so the
+dependency has to stay one-way (kernel-backend names are resolved
+through a lazy callable for the same reason).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.core.resilience import ResilienceConfig
+from repro.scenario.spec import (
+    Choice,
+    ConfigVar,
+    Range,
+    ScenarioSpec,
+    combine_specs,
+    requires,
+    rule,
+)
+
+
+def _kernel_backend_names():
+    # Lazy: the registry is mutable at runtime (tests register throwaway
+    # backends) and repro.kernels must not be imported at spec-import time.
+    from repro.kernels import known_backend_names
+
+    return known_backend_names()
+
+
+def _inject_requires_fallback(config: Mapping[str, Any]) -> bool:
+    inject = getattr(config.get("resilience"), "inject", None)
+    return not inject or bool(config.get("fallback"))
+
+
+LEGALIZER_SPEC = ScenarioSpec(
+    "legalizer",
+    [
+        ConfigVar(
+            "lam", (float,), 1000.0,
+            "Soft-constraint weight λ of the relaxed QP "
+            "(paper Section 5 uses 1000).",
+            Range(0.0, lo_open=True),
+        ),
+        ConfigVar(
+            "beta", (float,), 0.5,
+            "Matrix-splitting parameter β* of the MMSIM Eq.(16) scheme; "
+            "Theorem 2 requires it strictly inside (0, 1).",
+            Range(0.0, 1.0, lo_open=True, hi_open=True),
+        ),
+        ConfigVar(
+            "theta", (float,), 0.5,
+            "Matrix-splitting parameter θ* of the MMSIM Eq.(16) scheme; "
+            "Theorem 2 requires it strictly inside (0, 1).",
+            Range(0.0, 1.0, lo_open=True, hi_open=True),
+        ),
+        ConfigVar(
+            "gamma", (float,), 2.0,
+            "Regularization weight of the splitting's diagonal shift.",
+            Range(0.0, lo_open=True),
+        ),
+        ConfigVar(
+            "tol", (float,), 1e-3,
+            "MMSIM stopping tolerance on the iterate delta (site-snapped "
+            "output cannot resolve below ~1e-3 site widths).",
+            Range(0.0, lo_open=True),
+        ),
+        ConfigVar(
+            "residual_tol", (float,), 1e-2,
+            "Natural-residual certificate bound checked after "
+            "convergence; None skips the check.",
+            Range(0.0, lo_open=True), nullable=True,
+        ),
+        ConfigVar(
+            "max_iterations", (int,), 20000,
+            "MMSIM sweep cap per (sub)problem.",
+            Range(1),
+        ),
+        ConfigVar(
+            "warm_start", (bool,), True,
+            "Start the MMSIM from the GP positions (or an accepted "
+            "persisted state) instead of zero.",
+        ),
+        ConfigVar(
+            "validate_theorem2", (bool,), False,
+            "Verify the Theorem 2 spectral-radius contraction bound on "
+            "the assembled splitting (slow; diagnostics only).",
+        ),
+        ConfigVar(
+            "record_history", (bool,), False,
+            "Deprecated: populate LegalizationResult.residual_history "
+            "(telemetry iteration events supersede it).",
+        ),
+        ConfigVar(
+            "balance_rows", (bool,), False,
+            "Extension: shift cells out of over-capacity rows before the "
+            "MMSIM to reduce right-boundary spill.",
+        ),
+        ConfigVar(
+            "enforce_right_boundary", (bool,), False,
+            "Extension: add exact right-boundary rows for every row "
+            "whose cells fit (the paper's relaxation is the default).",
+        ),
+        ConfigVar(
+            "shard", (bool,), True,
+            "Shard the KKT LCP into independent coupling-graph "
+            "components and solve them separately (exact).",
+        ),
+        ConfigVar(
+            "parallel", (bool,), False,
+            "Solve shards concurrently on a thread pool; requires "
+            "shard=True (rejected otherwise — a monolithic solve has "
+            "nothing to parallelize).",
+        ),
+        ConfigVar(
+            "max_workers", (int,), None,
+            "Thread-pool size for parallel; None lets the executor pick.",
+            Range(1), nullable=True,
+        ),
+        ConfigVar(
+            "min_shard_variables", (int,), 256,
+            "Batch tiny coupling components into shards of at least this "
+            "many variables (ignored when batch_micro_shards routes "
+            "micro-shards through the batched engine instead).",
+            Range(1),
+        ),
+        ConfigVar(
+            "batch_micro_shards", (bool,), False,
+            "Route micro-shards through the batched group engine; "
+            "requires shard=True (there are no shards to batch "
+            "otherwise).",
+        ),
+        ConfigVar(
+            "batch_signature_buckets", (int,), 8,
+            "log2 size-bucket cap of the batching signature.",
+            Range(1),
+        ),
+        ConfigVar(
+            "fast_kernels", (bool,), True,
+            "Closed-form Woodbury + LAPACK banded + fused-sweep kernels; "
+            "False restores the pre-optimization SuperLU path.",
+        ),
+        ConfigVar(
+            "fallback", (bool,), True,
+            "Per-shard solver fallback ladder (safe MMSIM → PSOR → "
+            "Lemke → clamp) for shards that fail to converge.",
+        ),
+        ConfigVar(
+            "resilience", (ResilienceConfig,), None,
+            "Fallback-ladder tunables and the fault-injection hook; "
+            "injection requires fallback=True.",
+            nullable=True,
+        ),
+        ConfigVar(
+            "kernel_backend", (str,), "reference",
+            "Sweep-kernel backend for the MMSIM inner loops (see "
+            "repro.kernels; non-reference backends are probe-verified).",
+            Choice(_kernel_backend_names),
+        ),
+    ],
+    [
+        requires(
+            "parallel", "shard",
+            "parallel=True requires shard=True (a monolithic solve has "
+            "no shards to run concurrently; it would silently no-op)",
+        ),
+        requires(
+            "batch_micro_shards", "shard",
+            "batch_micro_shards=True requires shard=True (there are no "
+            "micro-shards to batch without sharding; it would silently "
+            "no-op)",
+        ),
+        rule(
+            ("resilience", "fallback"),
+            _inject_requires_fallback,
+            "resilience.inject is set but fallback=False: injected "
+            "faults would have no ladder to escalate through",
+        ),
+    ],
+)
+
+
+SERVICE_SPEC = ScenarioSpec(
+    "service",
+    [
+        ConfigVar("host", (str,), "127.0.0.1", "Bind address."),
+        ConfigVar(
+            "port", (int,), 8787,
+            "Bind port; 0 binds an ephemeral port.",
+            Range(0, 65535),
+        ),
+        ConfigVar(
+            "queue_limit", (int,), 64,
+            "Bounded job queue; a full queue answers 429 + Retry-After. "
+            "Must admit at least one job.",
+            Range(1),
+        ),
+        ConfigVar(
+            "batch_window_seconds", (float,), 0.02,
+            "How long the batcher waits for more jobs to share a solve "
+            "with.",
+            Range(0.0),
+        ),
+        ConfigVar(
+            "max_batch", (int,), 16,
+            "Cap on jobs per stacked solve.",
+            Range(1),
+        ),
+        ConfigVar(
+            "workers", (int,), 2,
+            "Worker threads executing batches.",
+            Range(1),
+        ),
+        ConfigVar(
+            "default_deadline_seconds", (float,), None,
+            "Deadline applied when a request does not send one; "
+            "None = none.",
+            Range(0.0, lo_open=True), nullable=True,
+        ),
+        ConfigVar(
+            "retry_after_seconds", (float,), 1.0,
+            "Hint sent in 429 responses.",
+            Range(0.0, lo_open=True),
+        ),
+        ConfigVar(
+            "merge", (bool,), True,
+            "Merge compatible designs into stacked solves.",
+        ),
+        ConfigVar(
+            "store_max_entries", (int,), 1024,
+            "Warm-state store entry cap; None = unbounded.",
+            Range(1), nullable=True,
+        ),
+        ConfigVar(
+            "store_max_bytes", (int,), 256 * 1024 * 1024,
+            "Warm-state store byte cap; None = unbounded.",
+            Range(1), nullable=True,
+        ),
+        ConfigVar(
+            "store_ttl_seconds", (float,), None,
+            "Warm-state entry time-to-live; None = no expiry.",
+            Range(0.0, lo_open=True), nullable=True,
+        ),
+        ConfigVar(
+            "latency_reservoir", (int,), 1024,
+            "Latency samples kept for the /stats percentiles.",
+            Range(1),
+        ),
+    ],
+)
+
+
+BENCHGEN_SPEC = ScenarioSpec(
+    "benchgen",
+    [
+        ConfigVar(
+            "scale", (float,), 0.02,
+            "Design size as a fraction of the paper's Table 1 profiles.",
+            Range(0.0, lo_open=True),
+        ),
+        ConfigVar("seed", (int,), 0, "Generator RNG seed.", Range(0)),
+        ConfigVar(
+            "mixed", (bool,), True,
+            "Mixed-cell-height population (False = single-row only).",
+        ),
+        ConfigVar(
+            "with_nets", (bool,), True,
+            "Attach a synthetic netlist (needed for HPWL metrics).",
+        ),
+        ConfigVar(
+            "fences", (int,), 0,
+            "Number of fence regions to carve.",
+            Range(0),
+        ),
+        ConfigVar(
+            "macro_fraction", (float,), 0.0,
+            "Fraction of area given to fixed macro obstacles.",
+            Range(0.0, 1.0, hi_open=True),
+        ),
+    ],
+)
+
+
+#: The campaign lattice ``repro sweep`` expands: legalizer knobs plus
+#: the benchmark-generator knobs under a ``gen.`` prefix.
+SWEEP_SPEC = combine_specs(
+    "sweep", [("", LEGALIZER_SPEC), ("gen.", BENCHGEN_SPEC)]
+)
+
+
+__all__ = ["BENCHGEN_SPEC", "LEGALIZER_SPEC", "SERVICE_SPEC", "SWEEP_SPEC"]

@@ -16,6 +16,8 @@ from typing import Any, Dict, List, Optional
 from repro.core.legalizer import LegalizationResult, LegalizerConfig
 from repro.io.jsonio import design_from_dict, design_to_dict
 from repro.netlist.design import Design
+from repro.scenario.spec import ConfigVar, Range, ScenarioSpec, format_violations
+from repro.scenario.specs import LEGALIZER_SPEC
 
 #: Bump on incompatible request/response layout changes.
 PROTOCOL_VERSION = 1
@@ -27,6 +29,49 @@ _CONFIG_FIELDS = frozenset(
     f.name
     for f in fields(LegalizerConfig)
     if f.name not in ("record_history", "resilience")
+)
+
+#: Typed shape of a LegalizeResponse payload: ``from_dict`` rejects
+#: wrongly typed values (a bool ``iterations``, a string ``ok``) as
+#: :class:`ProtocolError` instead of silently constructing a response
+#: that breaks downstream arithmetic.
+_RESPONSE_SPEC = ScenarioSpec(
+    "response",
+    [
+        ConfigVar("ok", (bool,), False, "Whether the run succeeded."),
+        ConfigVar("key", (str,), "", "Warm-state cache key."),
+        ConfigVar("design_name", (str,), "", "Name of the design."),
+        ConfigVar("cache", (str,), "miss", "Warm-state store decision."),
+        ConfigVar("warm_start", (str,), "gp", "How the MMSIM was seeded."),
+        ConfigVar(
+            "warm_start_rejected", (str,), None,
+            "Why an offered state was rejected.", nullable=True,
+        ),
+        ConfigVar("converged", (bool,), False, "MMSIM convergence flag."),
+        ConfigVar(
+            "iterations", (int,), 0, "Total MMSIM sweeps.", Range(0)
+        ),
+        ConfigVar("num_cells", (int,), 0, "Cells legalized.", Range(0)),
+        ConfigVar(
+            "num_illegal", (int,), 0, "Cells the audit flagged.", Range(0)
+        ),
+        ConfigVar("audit_clean", (bool,), False, "Legality audit verdict."),
+        ConfigVar(
+            "runtime_seconds", (float,), 0.0, "Wall-clock solve time.",
+            Range(0.0),
+        ),
+        ConfigVar(
+            "stage_seconds", (dict,), {}, "Per-stage timing breakdown."
+        ),
+        ConfigVar("summary", (str,), "", "One-line human summary."),
+        ConfigVar(
+            "positions", (list,), [], "Legalized cell positions."
+        ),
+        ConfigVar(
+            "error", (str,), None,
+            "Failure description when ok is false.", nullable=True,
+        ),
+    ],
 )
 
 
@@ -83,20 +128,26 @@ class LegalizeRequest:
         config = data.get("config") or {}
         if not isinstance(config, dict):
             raise ProtocolError("'config' must be an object")
+        bad_keys = [k for k in config if not isinstance(k, str)]
+        if bad_keys:
+            raise ProtocolError(
+                f"config field names must be strings, got {bad_keys!r}"
+            )
         unknown = set(config) - _CONFIG_FIELDS
         if unknown:
             raise ProtocolError(
                 f"unknown config fields: {sorted(unknown)}"
             )
-        backend = config.get("kernel_backend")
-        if backend is not None:
-            from repro.kernels import known_backend_names
-
-            if backend not in known_backend_names():
-                raise ProtocolError(
-                    f"unknown kernel_backend {backend!r}; "
-                    f"known: {known_backend_names()}"
-                )
+        # Typed value + cross-field validation against the legalizer
+        # spec, *before* the (expensive) design parse and before the
+        # worker thread can turn a bad value into a 500: the violation
+        # text names the offending field and matches what the
+        # LegalizerConfig constructor and the CLI report.
+        violations = LEGALIZER_SPEC.validate(config)
+        if violations:
+            raise ProtocolError(
+                f"invalid config: {format_violations(violations)}"
+            )
         deadline = data.get("deadline_seconds")
         if deadline is not None:
             deadline = float(deadline)
@@ -213,6 +264,14 @@ class LegalizeResponse:
             raise ProtocolError(f"unsupported protocol version {version!r}")
         known = {f.name for f in fields(cls)}
         kwargs = {k: v for k, v in data.items() if k in known}
+        violations = _RESPONSE_SPEC.validate(kwargs)
+        if violations:
+            raise ProtocolError(
+                f"invalid response: {format_violations(violations)}"
+            )
+        for required in ("ok", "key", "design_name"):
+            if required not in kwargs:
+                raise ProtocolError(f"response is missing {required!r}")
         return cls(**kwargs)
 
 

@@ -107,6 +107,19 @@ class ServiceConfig:
     #: Latency samples kept for the /stats percentiles.
     latency_reservoir: int = 1024
 
+    def __post_init__(self) -> None:
+        # One source of truth for the server knobs (domains + defaults):
+        # repro.scenario.specs.SERVICE_SPEC.  The CLI surfaces the same
+        # violations as exit 2 before this constructor can raise.
+        from repro.scenario.spec import format_violations
+        from repro.scenario.specs import SERVICE_SPEC
+
+        violations = SERVICE_SPEC.validate(self)
+        if violations:
+            raise ValueError(
+                f"invalid ServiceConfig: {format_violations(violations)}"
+            )
+
 
 @dataclass
 class _Job:

@@ -337,14 +337,21 @@ class TestFullFlow:
         assert "escalations=" in result.summary()
         assert "audit=clean" in result.summary()
 
-    def test_fallback_off_skips_ladder(self):
+    def test_fallback_off_rejects_injection(self):
+        # fallback=False with inject set used to silently no-op (the
+        # ladder never ran, so injection never fired); the scenario spec
+        # now rejects the combination outright.
+        with pytest.raises(ValueError, match="resilience.inject"):
+            LegalizerConfig(
+                fallback=False,
+                resilience=ResilienceConfig(inject={"*": ("mmsim",)}),
+            )
+
+    def test_fallback_off_without_injection_skips_ladder(self):
         design = _design()
-        config = LegalizerConfig(
-            fallback=False,
-            resilience=ResilienceConfig(inject={"*": ("mmsim",)}),
-        )
-        result = MMSIMLegalizer(config).legalize(design)
-        # Injection never fires because the ladder never runs.
+        result = MMSIMLegalizer(
+            LegalizerConfig(fallback=False)
+        ).legalize(design)
         assert result.solver_escalations == []
 
 
